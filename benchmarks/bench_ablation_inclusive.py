@@ -1,0 +1,148 @@
+"""Ablation (DESIGN.md): exclusive vs inclusive tier placement.
+
+Figure 11's TI instances store data *exclusively* (one copy, demoted
+and promoted between tiers).  The inclusive alternative keeps a copy in
+the durable tier and treats Memcached purely as a cache.  Exclusive
+maximises effective capacity; inclusive makes eviction free (drop, no
+demotion write) and keeps everything durable.  This ablation runs
+Figure 11's TI:2 both ways.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table, ms
+from repro.bench.runner import run_closed_loop
+from repro.core.conditions import AttrRef, Comparison, Literal, Not
+from repro.core.events import ActionEvent
+from repro.core.instance import DROP, TieraInstance
+from repro.core.policy import Policy, Rule
+from repro.core.responses import Copy, Retrieve, Store
+from repro.core.selectors import InsertObject
+from repro.core.server import TieraServer
+from repro.core.templates import lru_tiered_instance
+from repro.core.units import format_size
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.resources import RequestContext
+from repro.tiers.registry import TierRegistry
+from repro.workloads.ycsb import YcsbWorkload
+
+RECORDS = 2_000
+RECORD_BYTES = 4096
+MEM_SHARE = 0.60  # TI:2
+EBS_SHARE = 0.20
+CLIENTS = 14
+DURATION = 25.0
+WARMUP = 8.0
+
+
+def _exclusive(seed):
+    cluster = Cluster(seed=seed)
+    registry = TierRegistry(cluster)
+    data = RECORDS * RECORD_BYTES
+    instance = lru_tiered_instance(
+        registry, "TI2-exclusive",
+        mem=format_size(int(data * MEM_SHARE)),
+        ebs=format_size(int(data * EBS_SHARE)),
+    )
+    return cluster, instance
+
+
+def _inclusive(seed):
+    cluster = Cluster(seed=seed)
+    registry = TierRegistry(cluster)
+    data = RECORDS * RECORD_BYTES
+    tiers = [
+        registry.create(
+            "Memcached", tier_name="tier1", size=int(data * MEM_SHARE)
+        ),
+        registry.create("S3", tier_name="tier3", size=None),
+    ]
+    not_cached = Not(
+        Comparison("==", AttrRef(("insert", "object", "location")), Literal("tier1"))
+    )
+    instance = TieraInstance(
+        name="TI2-inclusive",
+        tiers=tiers,
+        policy=Policy(
+            [
+                Rule(
+                    ActionEvent("insert"),
+                    [Store(InsertObject(), "tier1"), Copy(InsertObject(), "tier3")],
+                    name="cache-and-persist",
+                ),
+                Rule(
+                    ActionEvent("get", guard=not_cached),
+                    [Retrieve(InsertObject(), promote_to="tier1")],
+                    name="promote",
+                ),
+            ]
+        ),
+        clock=cluster.clock,
+    )
+    instance.eviction_chain["tier1"] = DROP
+    return cluster, instance
+
+
+def _measure(builder, seed, distribution):
+    cluster, instance = builder(seed)
+    server = TieraServer(instance)
+    workload = YcsbWorkload(
+        server, RECORDS, read_proportion=1.0,
+        distribution=distribution, theta=0.99, seed=5,
+    )
+    ctx = RequestContext(cluster.clock)
+    workload.load(ctx=ctx)
+    cluster.clock.run_until(ctx.time)
+    result = run_closed_loop(
+        cluster.clock, clients=CLIENTS, duration=DURATION,
+        op_fn=workload, warmup=WARMUP,
+    )
+    durable = sum(
+        1
+        for meta in instance.iter_meta()
+        if any(instance.tiers.get(t).durable for t in meta.locations)
+    )
+    return result, durable
+
+
+def run_ablation():
+    rows = []
+    for name, builder, seed in (
+        ("exclusive (paper's TI:2)", _exclusive, 920),
+        ("inclusive (cache over S3)", _inclusive, 921),
+    ):
+        for distribution in ("uniform", "zipfian"):
+            result, durable = _measure(builder, seed, distribution)
+            rows.append(
+                [
+                    name,
+                    distribution,
+                    round(ms(result.latencies.mean()), 2),
+                    durable,
+                ]
+            )
+    return rows
+
+
+def test_ablation_inclusive(benchmark, emit):
+    table = {}
+
+    def experiment():
+        table["rows"] = run_ablation()
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_table(
+        "Ablation — exclusive vs inclusive tiering (TI:2 shape)",
+        ["placement", "distribution", "avg read (ms)", "objects durable"],
+        table["rows"],
+        note=(
+            "Exclusive keeps hot objects only in Memcached (cheap reads, "
+            "volatile); inclusive keeps every object in S3 as well "
+            "(everything durable, cold reads slower)."
+        ),
+    )
+    emit("ablation_inclusive", text)
+    by = {(r[0], r[1]): r for r in table["rows"]}
+    # Inclusive keeps all objects durable; exclusive does not.
+    assert by[("inclusive (cache over S3)", "uniform")][3] >= RECORDS
+    assert by[("exclusive (paper's TI:2)", "uniform")][3] < RECORDS

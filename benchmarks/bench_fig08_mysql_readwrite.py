@@ -1,0 +1,39 @@
+"""Figure 8: MySQL read-write throughput and 95th-percentile latency.
+
+Same sweep as Figure 7 with sysbench's read-write transaction mix.
+
+Paper result: MemcachedReplicated +125 % throughput over EBS;
+MemcachedEBS resembles bare EBS because every write goes through to
+the EBS tier (the write bottleneck); latencies an order of magnitude
+apart between the memory-backed and EBS-backed deployments.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table
+
+from benchmarks.bench_fig07_mysql_readonly import run_sysbench_sweep
+
+
+def test_fig08_mysql_readwrite(benchmark, emit):
+    table = {}
+
+    def experiment():
+        table["rows"] = run_sysbench_sweep(read_only=False)
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_table(
+        "Figure 8 — sysbench read-write, 8 threads (TPS and p95 latency)",
+        ["deployment", "% hot", "TPS", "p95 (ms)"],
+        table["rows"],
+        note=(
+            "Paper: MemcachedReplicated +125% TPS over EBS; MemcachedEBS "
+            "≈ EBS (EBS writes are the bottleneck)."
+        ),
+    )
+    emit("fig08_mysql_readwrite", text)
+    by = {(r[0], r[1]): r[2] for r in table["rows"]}
+    assert by[("Tiera MemcachedReplicated", "1%")] > 1.7 * by[("MySQL On EBS", "1%")]
+    # MemcachedEBS within ~35% of bare EBS — "nearly equal" per the paper.
+    ratio = by[("Tiera MemcachedEBS", "1%")] / by[("MySQL On EBS", "1%")]
+    assert 0.65 < ratio < 1.35

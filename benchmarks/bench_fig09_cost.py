@@ -1,0 +1,104 @@
+"""Figure 9: cost optimisation — MySQL on the MemcachedS3 instance.
+
+Paper setup: the ``MemcachedS3`` Tiera instance (small co-located
+Memcached LRU cache over S3) vs the standard EBS deployment, sysbench
+with 10 % of the data requested 80 % of the time, 8 threads; plus the
+MySQL Memory Engine baseline.  Throughput is plotted on a log scale and
+the monthly storage cost alongside.
+
+Paper result: the Tiera deployment costs a fraction of EBS, matches it
+on read-only (cache absorbs the hot set), and sacrifices read-write
+performance (every write goes to S3); the Memory Engine delivers
+≈0.15 TPS.
+"""
+
+from __future__ import annotations
+
+from repro.bench.deployments import (
+    mysql_memory_engine,
+    mysql_on_ebs,
+    mysql_on_memcached_s3,
+)
+from repro.bench.report import format_table
+from repro.bench.runner import run_closed_loop
+from repro.workloads.sysbench import SysbenchOltp, load_table
+
+ROWS = 50_000
+HOT = 0.10
+CLIENTS = 8
+DURATION = 12.0
+WARMUP = 3.0
+MEMORY_ENGINE_DURATION = 120.0  # it needs a long window to commit at all
+
+
+def _tps(deployment, read_only, duration=DURATION):
+    load_table(deployment.db, ROWS, clock=deployment.clock)
+    workload = SysbenchOltp(
+        deployment.db, ROWS, hot_fraction=HOT, read_only=read_only
+    )
+    result = run_closed_loop(
+        deployment.clock, clients=CLIENTS, duration=duration,
+        op_fn=workload, warmup=WARMUP,
+    )
+    return result.throughput
+
+
+def run_figure9():
+    rows = []
+    ebs_ro = mysql_on_ebs(os_cache="8M")
+    rows.append(["MySQL On EBS", "R", round(_tps(ebs_ro, True), 2),
+                 round(ebs_ro.monthly_cost(), 2)])
+    ebs_rw = mysql_on_ebs(os_cache="8M")
+    rows.append(["MySQL On EBS", "R/W", round(_tps(ebs_rw, False), 2),
+                 round(ebs_rw.monthly_cost(), 2)])
+    # The cache holds the hot set and part of the cold data, but not
+    # the whole database ("wasn't large enough to store the entire
+    # database").
+    tiera_ro = mysql_on_memcached_s3(mem="16M")
+    rows.append(["MySQL On Tiera (MemcachedS3)", "R",
+                 round(_tps(tiera_ro, True), 2),
+                 round(tiera_ro.monthly_cost() + 0.30, 2)])
+    tiera_rw = mysql_on_memcached_s3(mem="16M")
+    rows.append(["MySQL On Tiera (MemcachedS3)", "R/W",
+                 round(_tps(tiera_rw, False), 2),
+                 round(tiera_rw.monthly_cost() + 0.30, 2)])
+    memory = mysql_memory_engine()
+    rows.append([
+        "MySQL Memory Engine", "R/W",
+        round(_tps(memory, False, duration=MEMORY_ENGINE_DURATION), 2),
+        "n/a (RAM only)",
+    ])
+    return rows
+
+
+def test_fig09_cost(benchmark, emit):
+    table = {}
+
+    def experiment():
+        table["rows"] = run_figure9()
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    # Note: the Tiera cost column adds ~$0.30 for 10 GB-equivalent S3
+    # provisioning to mirror the paper's total-cost basis; the cache is
+    # co-located (no marginal cost).
+    text = format_table(
+        "Figure 9 — throughput (log-scale in the paper) and monthly cost",
+        ["deployment", "workload", "TPS", "cost $/month"],
+        table["rows"],
+        note=(
+            "Paper: Tiera(MemcachedS3) ≈ EBS on read-only at a fraction "
+            "of the cost; slower on read-write (S3 writes); Memory "
+            "Engine ≈ 0.15 TPS."
+        ),
+    )
+    emit("fig09_cost", text)
+    by = {(r[0], r[1]): r[2] for r in table["rows"]}
+    ebs_ro = by[("MySQL On EBS", "R")]
+    tiera_ro = by[("MySQL On Tiera (MemcachedS3)", "R")]
+    tiera_rw = by[("MySQL On Tiera (MemcachedS3)", "R/W")]
+    # "Comparable" on the paper's log-scale axis: the same order of
+    # magnitude on read-only, clearly degraded on read-write, at a
+    # fraction of the EBS cost.
+    assert tiera_ro > 0.25 * ebs_ro
+    assert tiera_rw < tiera_ro
+    assert by[("MySQL Memory Engine", "R/W")] < 1.0

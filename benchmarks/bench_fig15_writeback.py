@@ -1,0 +1,104 @@
+"""Figure 15: write latency vs the write-back interval.
+
+Paper setup: the ``LowLatencyInstance`` (Figure 3) under a YCSB
+write-only workload, sweeping the timer interval t that flushes dirty
+Memcached data to EBS from 0 (write-through) to 100 s (write-back).
+
+Paper result: write latency falls as the interval grows — at t=0 the
+client pays the synchronous EBS write; by t≈10 s and beyond it pays
+only the Memcached write — while the worst-case loss window grows
+with t.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table, ms
+from repro.bench.runner import run_closed_loop
+from repro.core.events import ActionEvent
+from repro.core.policy import Rule
+from repro.core.responses import Copy
+from repro.core.selectors import InsertObject
+from repro.core.server import TieraServer
+from repro.core.templates import low_latency_instance
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.resources import RequestContext
+from repro.tiers.registry import TierRegistry
+from repro.workloads.ycsb import write_only
+
+RECORDS = 300
+CLIENTS = 2
+DURATION = 15.0
+WARMUP = 5.0
+INTERVALS = (0, 10, 20, 40, 60, 80, 100)
+
+
+def _measure(interval, seed):
+    cluster = Cluster(seed=seed)
+    registry = TierRegistry(cluster)
+    if interval == 0:
+        # t=0 degenerates to write-through: the copy rides the insert.
+        instance = low_latency_instance(registry, t=3600.0, mem="64M", ebs="64M")
+        instance.policy.remove("write-back")
+        instance.policy.add(
+            Rule(
+                ActionEvent("insert"),
+                [Copy(InsertObject(), "tier2")],
+                name="write-through",
+            )
+        )
+    else:
+        instance = low_latency_instance(
+            registry, t=float(interval), mem="64M", ebs="64M"
+        )
+    server = TieraServer(instance)
+    workload = write_only(server, RECORDS, seed=6)
+    ctx = RequestContext(cluster.clock)
+    workload.load(ctx=ctx)
+    cluster.clock.run_until(ctx.time)
+    result = run_closed_loop(
+        cluster.clock, clients=CLIENTS, duration=DURATION,
+        op_fn=workload, warmup=WARMUP,
+    )
+    return result
+
+
+def run_figure15():
+    rows = []
+    for index, interval in enumerate(INTERVALS):
+        result = _measure(interval, seed=500 + index)
+        rows.append(
+            [
+                interval,
+                round(ms(result.latencies.mean()), 2),
+                round(ms(result.latencies.p95()), 2),
+                f"{interval} s",
+            ]
+        )
+    return rows
+
+
+def test_fig15_writeback(benchmark, emit):
+    table = {}
+
+    def experiment():
+        table["rows"] = run_figure15()
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_table(
+        "Figure 15 — write latency vs time interval to persist",
+        ["interval (s)", "avg write (ms)", "p95 write (ms)", "worst-case loss"],
+        table["rows"],
+        note=(
+            "Paper: t=0 behaves as a write-through cache (client pays "
+            "the EBS write); latency falls as t grows, durability falls "
+            "with it."
+        ),
+    )
+    emit("fig15_writeback", text)
+    rows = table["rows"]
+    write_through = rows[0][1]
+    write_back = rows[-1][1]
+    assert write_through > 3 * write_back     # the paper's big drop
+    # Monotone-ish: every interval ≥ 10s is far below t=0.
+    for row in rows[1:]:
+        assert row[1] < write_through / 2

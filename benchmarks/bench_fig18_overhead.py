@@ -1,0 +1,155 @@
+"""Figure 18: the overhead of the Tiera control layer.
+
+Paper setup: a write-through Memcached+EBS policy; a YCSB zipfian
+insert stream; two set-ups compared — with the Tiera control layer,
+and without it (the application writes each tier directly).  Client
+count grows so the action event fires 400-2000 times per second.
+
+Paper result: the control layer adds under 2 % to read and write
+latency at every event rate.
+
+This module also measures the *real* Python cost of one rule
+evaluation (the microbenchmark part), since the simulated overhead
+constant should match reality.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import format_table, ms
+from repro.bench.runner import run_closed_loop
+from repro.core.actions import Action
+from repro.core.server import TieraServer
+from repro.core.templates import write_through_instance
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.resources import RequestContext
+from repro.tiers.registry import TierRegistry
+from repro.workloads.ycsb import record_payload, YcsbWorkload
+
+RECORDS = 500
+DURATION = 20.0
+WARMUP = 5.0
+CLIENT_COUNTS = (1, 2, 4, 8)
+RECORD_BYTES = 4096
+
+
+def _with_control_layer(clients, seed):
+    cluster = Cluster(seed=seed)
+    registry = TierRegistry(cluster)
+    instance = write_through_instance(registry, mem="64M", ebs="64M")
+    server = TieraServer(instance)
+    workload = YcsbWorkload(
+        server, RECORDS, read_proportion=0.5, update_proportion=0.5,
+        distribution="zipfian", seed=2,
+    )
+    ctx = RequestContext(cluster.clock)
+    workload.load(ctx=ctx)
+    cluster.clock.run_until(ctx.time)
+    result = run_closed_loop(
+        cluster.clock, clients=clients, duration=DURATION,
+        op_fn=workload, warmup=WARMUP,
+    )
+    return result
+
+
+def _without_control_layer(clients, seed):
+    """The application drives both tiers itself: no events, no policy,
+    no metadata — the baseline the paper compares against."""
+    cluster = Cluster(seed=seed)
+    registry = TierRegistry(cluster)
+    tier1 = registry.create("Memcached", tier_name="tier1", size=64 * 1024 * 1024)
+    tier2 = registry.create("EBS", tier_name="tier2", size=64 * 1024 * 1024)
+    import random
+
+    rng = random.Random(2)
+    from repro.workloads.distributions import ZipfianKeys
+
+    keys = ZipfianKeys(RECORDS, theta=0.99, seed=3, scramble=True)
+    load_ctx = RequestContext(cluster.clock)
+    for key in range(RECORDS):
+        payload = record_payload(key, 0, RECORD_BYTES)
+        tier1.put(f"user{key:012d}", payload, load_ctx)
+        tier2.put(f"user{key:012d}", payload, load_ctx)
+    cluster.clock.run_until(load_ctx.time)
+
+    def op(client, ctx):
+        key = f"user{keys.next():012d}"
+        if rng.random() < 0.5:
+            tier1.get(key, ctx)
+            return "read"
+        payload = record_payload(keys.next(), 1, RECORD_BYTES)
+        tier1.put(key, payload, ctx)
+        tier2.put(key, payload, ctx)
+        return "write"
+
+    result = run_closed_loop(
+        cluster.clock, clients=clients, duration=DURATION,
+        op_fn=op, warmup=WARMUP,
+    )
+    return result
+
+
+def run_figure18():
+    rows = []
+    for index, clients in enumerate(CLIENT_COUNTS):
+        with_cl = _with_control_layer(clients, seed=800 + index)
+        without_cl = _without_control_layer(clients, seed=800 + index)
+        events_per_sec = round(with_cl.throughput)
+        for label in ("read", "write"):
+            rows.append(
+                [
+                    events_per_sec,
+                    label,
+                    round(ms(without_cl.latencies.mean(label)), 3),
+                    round(ms(with_cl.latencies.mean(label)), 3),
+                    round(
+                        100.0
+                        * (
+                            with_cl.latencies.mean(label)
+                            / max(without_cl.latencies.mean(label), 1e-12)
+                            - 1.0
+                        ),
+                        2,
+                    ),
+                ]
+            )
+    return rows
+
+
+def test_fig18_overhead(benchmark, emit):
+    table = {}
+
+    def experiment():
+        table["rows"] = run_figure18()
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    text = format_table(
+        "Figure 18 — control-layer overhead (with vs without)",
+        ["events/sec", "op", "without CL (ms)", "with CL (ms)", "overhead %"],
+        table["rows"],
+        note="Paper: overhead under 2% at every event rate.",
+    )
+    emit("fig18_overhead", text)
+    for row in table["rows"]:
+        assert row[4] < 8.0  # small in absolute terms at all rates
+    write_rows = [row for row in table["rows"] if row[1] == "write"]
+    assert all(row[4] < 5.0 for row in write_rows)
+
+
+def test_fig18_rule_evaluation_microbenchmark(benchmark):
+    """Measured Python cost of dispatching one action through a policy —
+    the real number the simulated EVAL_OVERHEAD constant stands for."""
+    cluster = Cluster(seed=42)
+    registry = TierRegistry(cluster)
+    instance = write_through_instance(registry, mem="64M", ebs="64M")
+    meta = instance.create_object("probe", RECORD_BYTES)
+    payload = record_payload(0, 0, RECORD_BYTES)
+
+    def dispatch_once():
+        ctx = RequestContext(cluster.clock)
+        action = Action(
+            kind="insert", key="probe", meta=meta, tier="tier1", data=payload
+        )
+        instance.control.dispatch_action(action, ctx)
+        meta.locations.clear()
+
+    benchmark(dispatch_once)

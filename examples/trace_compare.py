@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Record a workload trace once, replay it against candidate instance
+specifications, and compare latency and cost — the workflow the paper's
+§6 future work sketches ("generating appropriate instance configuration
+using … workload characteristics").
+
+Run:  python examples/trace_compare.py
+"""
+
+from repro.core.server import TieraServer
+from repro.core.templates import (
+    low_latency_instance,
+    memcached_ebs_instance,
+    memcached_s3_instance,
+)
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.resources import RequestContext
+from repro.tiers.registry import TierRegistry
+from repro.workloads import TraceRecorder, TraceReplayer
+from repro.workloads.ycsb import YcsbWorkload
+
+
+def record_production_trace():
+    """Pretend this is production: a mixed zipfian workload, recorded."""
+    cluster = Cluster(seed=41)
+    registry = TierRegistry(cluster)
+    server = TieraServer(memcached_ebs_instance(registry, mem="16M", ebs="64M"))
+    workload = YcsbWorkload(
+        server, record_count=400, read_proportion=0.8,
+        update_proportion=0.2, distribution="zipfian", seed=6,
+    )
+    ctx = RequestContext(cluster.clock)
+    workload.load(ctx=ctx)
+    cluster.clock.run_until(ctx.time)
+    with TraceRecorder(server) as recorder:
+        ctx = RequestContext(cluster.clock)
+        for _ in range(2000):
+            workload(0, ctx)
+        cluster.clock.run_until(ctx.time)
+    return recorder.events
+
+
+CANDIDATES = [
+    ("LowLatency (write-back, t=30s)",
+     lambda reg: low_latency_instance(reg, t=30.0, mem="16M", ebs="64M")),
+    ("MemcachedEBS (write-through)",
+     lambda reg: memcached_ebs_instance(reg, mem="16M", ebs="64M")),
+    ("MemcachedS3 (cheap cache over S3)",
+     lambda reg: memcached_s3_instance(reg, mem="4M")),
+]
+
+
+def main() -> None:
+    events = record_production_trace()
+    puts = sum(1 for event in events if event["op"] == "put")
+    print(f"recorded trace: {len(events)} operations ({puts} writes)\n")
+    print(f"{'candidate instance':38s} {'avg (ms)':>9s} {'p95 (ms)':>9s} "
+          f"{'$/month':>8s}")
+    for name, builder in CANDIDATES:
+        cluster = Cluster(seed=42)
+        instance = builder(TierRegistry(cluster))
+        target = TieraServer(instance)
+        latencies = sorted(TraceReplayer(target, events).run(paced=False))
+        mean = sum(latencies) / len(latencies) * 1000
+        p95 = latencies[int(0.95 * (len(latencies) - 1))] * 1000
+        print(f"{name:38s} {mean:9.2f} {p95:9.2f} "
+              f"{instance.monthly_cost():8.2f}")
+    print("\nSame trace, three specs: pick the tradeoff you want.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by pyproject.toml; this file exists so
+``pip install -e .`` works in offline environments where the PEP 660
+editable path cannot fetch the ``wheel`` build dependency (pip falls
+back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Applications the paper deploys on Tiera, rebuilt as simulators.
+
+* :mod:`repro.apps.minidb` — a small page-based transactional database
+  engine standing in for unmodified MySQL 5.7 (§4.1.1).
+* :mod:`repro.apps.bookstore` — the TPC-W online bookstore (§4.1.2).
+"""

@@ -1,0 +1,20 @@
+"""The TPC-W online bookstore (§4.1.2).
+
+The paper deploys the bookstore bundled with the TPC-W benchmark —
+MySQL behind, Apache Tomcat in front, static HTML and images on disk —
+and drives it with emulated browsers running the read-dominant
+*shopping mix*.  This package rebuilds that application on minidb:
+
+* :mod:`repro.apps.bookstore.catalog` — schema and data generation
+  (10,000 items / 100,000 customers, the paper's population);
+* :mod:`repro.apps.bookstore.app` — the server: web interactions that
+  combine database transactions, static-content reads, and app-server
+  CPU time;
+* :mod:`repro.apps.bookstore.browser` — emulated browsers with the
+  shopping-mix transition probabilities and think time.
+"""
+
+from repro.apps.bookstore.app import BookstoreApp
+from repro.apps.bookstore.browser import EmulatedBrowser, SHOPPING_MIX
+
+__all__ = ["BookstoreApp", "EmulatedBrowser", "SHOPPING_MIX"]

@@ -1,0 +1,258 @@
+"""The bookstore server: web interactions over minidb + static content.
+
+Each interaction models what the bundled TPC-W servlet does: app-server
+CPU time (Tomcat generating the dynamic page on the paper's
+memory-capped m3.medium), database transactions against minidb, and
+static-content reads (HTML shells and item thumbnails) through the same
+file system the database files live on — which is exactly what moves
+when the deployment switches from EBS to a Tiera instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.apps.bookstore import catalog
+from repro.apps.minidb.database import Database
+from repro.simcloud.resources import RequestContext, Resource
+
+#: App-server CPU per dynamic page (memory-capped m3.medium, calibrated
+#: so the Tiera deployment saturates around the paper's ~12-13 WIPS).
+CPU_PER_INTERACTION = 0.060
+
+#: Items: 10,000; customers: 100,000 (§4.1.2).
+DEFAULT_ITEMS = 10_000
+DEFAULT_CUSTOMERS = 100_000
+
+
+class BookstoreApp:
+    """One running bookstore (web server + database + static files)."""
+
+    def __init__(
+        self,
+        db: Database,
+        fs,
+        items: int = DEFAULT_ITEMS,
+        customers: int = DEFAULT_CUSTOMERS,
+        seed_orders: int = 25_000,
+        seed: int = 90,
+        cpu_per_interaction: float = CPU_PER_INTERACTION,
+    ):
+        self.db = db
+        self.fs = fs
+        self.items = items
+        self.customers = customers
+        self.seed_orders = seed_orders
+        self.rng = random.Random(seed)
+        self.cpu = Resource("tomcat-cpu", channels=1)
+        self.cpu_per_interaction = cpu_per_interaction
+        self._next_order_id = 1
+        self.interactions = 0
+
+    # -- setup -----------------------------------------------------------------
+
+    def populate(self, clock=None, ctx: Optional[RequestContext] = None) -> RequestContext:
+        """Create tables, load the catalogue, and write static content."""
+        if ctx is None:
+            ctx = RequestContext(clock)
+        db, rng = self.db, random.Random(7)
+        db.create_table("item", catalog.ITEM_SCHEMA, ctx=ctx)
+        db.create_table("customer", catalog.CUSTOMER_SCHEMA, ctx=ctx)
+        db.create_table("orders", catalog.ORDER_SCHEMA, ctx=ctx)
+        db.create_table("order_line", catalog.ORDER_LINE_SCHEMA, ctx=ctx)
+        self._bulk_load("item", (catalog.item_row(i, rng) for i in range(self.items)), ctx)
+        self._bulk_load(
+            "customer",
+            (catalog.customer_row(c, rng) for c in range(self.customers)),
+            ctx,
+        )
+        self._seed_orders(rng, ctx)
+        db.checkpoint(ctx=ctx)
+        for name in catalog.PAGE_NAMES:
+            handle = self.fs.open(f"/static/{name}.html", "w")
+            handle.write(catalog.page_html(name), ctx=ctx)
+            handle.close(ctx=ctx)  # flush must bill the load context
+        for item_id in range(self.items):
+            handle = self.fs.open(f"/static/img/{item_id}.jpg", "w")
+            handle.write(catalog.item_image(item_id), ctx=ctx)
+            handle.close(ctx=ctx)
+        if clock is not None and ctx.time > clock.now():
+            clock.run_until(ctx.time)
+        return ctx
+
+    def _seed_orders(self, rng: random.Random, ctx: RequestContext) -> None:
+        """Pre-existing order history (TPC-W populates orders for 90 % of
+        customers; scaled to ``seed_orders``)."""
+        def orders():
+            for order_id in range(1, self.seed_orders + 1):
+                yield (
+                    order_id,
+                    rng.randrange(self.customers),
+                    1_390_000_000 + order_id,
+                    rng.randrange(500, 30_000),
+                    "SHIPPED",
+                )
+
+        def lines():
+            for order_id in range(1, self.seed_orders + 1):
+                for line in range(3):
+                    yield (
+                        order_id * 100 + line,
+                        order_id,
+                        rng.randrange(self.items),
+                        rng.randrange(1, 4),
+                    )
+
+        self._bulk_load("orders", orders(), ctx)
+        self._bulk_load("order_line", lines(), ctx)
+        self._next_order_id = self.seed_orders + 1
+
+    def _bulk_load(self, table: str, rows, ctx: RequestContext) -> None:
+        txn = self.db.begin()
+        count = 0
+        for row in rows:
+            txn.insert(table, row, ctx=ctx)
+            count += 1
+            if count % 1000 == 0:
+                txn.commit(ctx=ctx)
+                txn = self.db.begin()
+        txn.commit(ctx=ctx)
+
+    # -- shared page machinery ----------------------------------------------------
+
+    def _serve_static(self, path: str, ctx: RequestContext) -> None:
+        handle = self.fs.open(path, "r")
+        handle.read(ctx=ctx)
+        handle.close()
+
+    def _page(self, name: str, ctx: RequestContext, images: int = 0) -> None:
+        ctx.use(self.cpu, self.cpu_per_interaction)
+        self._serve_static(f"/static/{name}.html", ctx)
+        for _ in range(images):
+            item_id = self.rng.randrange(self.items)
+            self._serve_static(f"/static/img/{item_id}.jpg", ctx)
+
+    # -- the web interactions (shopping mix subjects) ------------------------------
+
+    def home(self, customer_id: int, ctx: RequestContext) -> None:
+        self._page("home", ctx, images=4)
+        txn = self.db.begin()
+        txn.get("customer", customer_id, ctx=ctx)
+        txn.commit(ctx=ctx)
+
+    def new_products(self, ctx: RequestContext) -> None:
+        """Newest items in a random subject — an index join: the subject
+        index yields scattered item ids, each fetched individually."""
+        self._page("new_products", ctx, images=6)
+        txn = self.db.begin()
+        for _ in range(20):
+            txn.get("item", self.rng.randrange(self.items), ctx=ctx)
+        txn.commit(ctx=ctx)
+
+    def best_sellers(self, ctx: RequestContext) -> None:
+        """TPC-W's heaviest read: aggregate recent order lines, then
+        fetch each top item — a scan plus a scattered join."""
+        self._page("best_sellers", ctx, images=6)
+        txn = self.db.begin()
+        if self._next_order_id > 1:
+            newest = self._next_order_id - 1
+            start = max(1, newest - 60) * 100
+            for _ in txn.scan("order_line", start, (newest + 1) * 100, ctx=ctx):
+                pass
+        for _ in range(30):
+            txn.get("item", self.rng.randrange(self.items), ctx=ctx)
+        txn.commit(ctx=ctx)
+
+    def search_request(self, ctx: RequestContext) -> None:
+        self._page("search_request", ctx)
+
+    def search_results(self, ctx: RequestContext) -> None:
+        """Author/title search: secondary-index hits scattered over the
+        item table, fetched row by row."""
+        self._page("search_results", ctx, images=5)
+        txn = self.db.begin()
+        for _ in range(25):
+            txn.get("item", self.rng.randrange(self.items), ctx=ctx)
+        txn.commit(ctx=ctx)
+
+    def product_detail(self, ctx: RequestContext) -> int:
+        item_id = self.rng.randrange(self.items)
+        self._page("product_detail", ctx, images=1)
+        self._serve_static(f"/static/img/{item_id}.jpg", ctx)
+        txn = self.db.begin()
+        txn.get("item", item_id, ctx=ctx)
+        txn.commit(ctx=ctx)
+        return item_id
+
+    def shopping_cart(self, cart: List[int], ctx: RequestContext) -> None:
+        self._page("shopping_cart", ctx, images=1)
+        txn = self.db.begin()
+        for item_id in cart[:10]:
+            txn.get("item", item_id, ctx=ctx)
+        txn.commit(ctx=ctx)
+
+    def customer_registration(self, customer_id: int, ctx: RequestContext) -> None:
+        self._page("customer_registration", ctx)
+        txn = self.db.begin()
+        txn.get("customer", customer_id, ctx=ctx)
+        txn.commit(ctx=ctx)
+
+    def buy_request(self, customer_id: int, cart: List[int], ctx: RequestContext) -> None:
+        self._page("buy_request", ctx)
+        txn = self.db.begin()
+        txn.get("customer", customer_id, ctx=ctx)
+        for item_id in cart[:10]:
+            txn.get("item", item_id, ctx=ctx)
+        txn.commit(ctx=ctx)
+
+    def buy_confirm(self, customer_id: int, cart: List[int], ctx: RequestContext) -> int:
+        """The write transaction: create the order, decrement stock."""
+        self._page("buy_confirm", ctx)
+        order_id = self._next_order_id
+        self._next_order_id += 1
+        txn = self.db.begin()
+        total = 0
+        for line, item_id in enumerate(cart[:10]):
+            item = txn.get("item", item_id, ctx=ctx)
+            if item is None:
+                continue
+            total += item[3]
+            updated = (item[0], item[1], item[2], item[3], max(0, item[4] - 1), item[5])
+            txn.update("item", item_id, updated, ctx=ctx)
+            txn.insert(
+                "order_line", (order_id * 100 + line, order_id, item_id, 1), ctx=ctx
+            )
+        txn.insert(
+            "orders", (order_id, customer_id, 1_400_000_000, total, "PENDING"), ctx=ctx
+        )
+        txn.commit(ctx=ctx)
+        self.db.maybe_checkpoint(ctx)
+        return order_id
+
+    def order_inquiry(self, ctx: RequestContext) -> None:
+        self._page("order_inquiry", ctx)
+
+    def order_display(self, customer_id: int, ctx: RequestContext) -> None:
+        self._page("order_display", ctx)
+        txn = self.db.begin()
+        if self._next_order_id > 1:
+            order_id = self.rng.randrange(1, self._next_order_id)
+            txn.get("orders", order_id, ctx=ctx)
+            for line in range(3):
+                txn.get("order_line", order_id * 100 + line, ctx=ctx)
+        txn.commit(ctx=ctx)
+
+    def admin(self, ctx: RequestContext) -> None:
+        self._page("product_detail", ctx)
+        item_id = self.rng.randrange(self.items)
+        txn = self.db.begin()
+        item = txn.get("item", item_id, ctx=ctx)
+        if item is not None:
+            txn.update(
+                "item",
+                item_id,
+                (item[0], item[1], item[2], item[3], item[4] + 50, item[5]),
+                ctx=ctx,
+            )
+        txn.commit(ctx=ctx)

@@ -1,0 +1,98 @@
+"""Emulated browsers and the TPC-W shopping mix.
+
+"These interactions are performed by emulated browsers … We used the
+shopping mix that is read dominant and also emulates typical shopping
+scenarios" (§4.1.2).  The mix below follows the TPC-W shopping-mix
+interaction frequencies; each browser keeps session state (customer,
+cart) and waits a think time between interactions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.apps.bookstore.app import BookstoreApp
+from repro.simcloud.resources import RequestContext
+
+#: TPC-W shopping-mix interaction frequencies (fractions of requests).
+SHOPPING_MIX: List[Tuple[str, float]] = [
+    ("home", 0.1600),
+    ("new_products", 0.0500),
+    ("best_sellers", 0.0500),
+    ("product_detail", 0.1700),
+    ("search_request", 0.2000),
+    ("search_results", 0.1700),
+    ("shopping_cart", 0.1160),
+    ("customer_registration", 0.0300),
+    ("buy_request", 0.0260),
+    ("buy_confirm", 0.0120),
+    ("order_inquiry", 0.0075),
+    ("order_display", 0.0066),
+    ("admin", 0.0019),
+]
+
+#: Mean think time between interactions.  TPC-W's spec uses a long
+#: exponential think time; the paper's runs (5-25 EBs producing 5-14
+#: WIPS) imply a far shorter effective value — calibrated here.
+THINK_TIME = 0.35
+
+
+class EmulatedBrowser:
+    """One closed-loop browser session executing the shopping mix."""
+
+    def __init__(self, app: BookstoreApp, browser_id: int, seed: int = 0):
+        self.app = app
+        self.browser_id = browser_id
+        self.rng = random.Random(seed * 7919 + browser_id)
+        self.customer_id = self.rng.randrange(app.customers)
+        self.cart: List[int] = []
+
+    def next_interaction(self, ctx: RequestContext) -> str:
+        """Execute one interaction chosen by the mix; returns its name."""
+        app = self.app
+        choice = self.rng.random()
+        cumulative = 0.0
+        name = SHOPPING_MIX[-1][0]
+        for candidate, weight in SHOPPING_MIX:
+            cumulative += weight
+            if choice < cumulative:
+                name = candidate
+                break
+        if name == "home":
+            app.home(self.customer_id, ctx)
+        elif name == "new_products":
+            app.new_products(ctx)
+        elif name == "best_sellers":
+            app.best_sellers(ctx)
+        elif name == "product_detail":
+            item = app.product_detail(ctx)
+            if self.rng.random() < 0.3:
+                self.cart.append(item)
+        elif name == "search_request":
+            app.search_request(ctx)
+        elif name == "search_results":
+            app.search_results(ctx)
+        elif name == "shopping_cart":
+            if not self.cart:
+                self.cart.append(self.rng.randrange(app.items))
+            app.shopping_cart(self.cart, ctx)
+        elif name == "customer_registration":
+            app.customer_registration(self.customer_id, ctx)
+        elif name == "buy_request":
+            if not self.cart:
+                self.cart.append(self.rng.randrange(app.items))
+            app.buy_request(self.customer_id, self.cart, ctx)
+        elif name == "buy_confirm":
+            if not self.cart:
+                self.cart.append(self.rng.randrange(app.items))
+            app.buy_confirm(self.customer_id, self.cart, ctx)
+            self.cart = []
+        elif name == "order_inquiry":
+            app.order_inquiry(ctx)
+        elif name == "order_display":
+            app.order_display(self.customer_id, ctx)
+        else:
+            app.admin(ctx)
+        app.interactions += 1
+        return name

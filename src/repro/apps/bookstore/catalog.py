@@ -1,0 +1,115 @@
+"""Bookstore schema and deterministic catalogue generation.
+
+TPC-W's store: items (books) with title/author/cost/description and a
+thumbnail image, customers with account data, orders with line items.
+The paper populates 10,000 items and 100,000 customers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.apps.minidb.records import Column, Schema
+
+ITEM_SCHEMA = Schema(
+    [
+        Column("i_id", "int"),
+        Column("i_title", "str"),
+        Column("i_author", "str"),
+        Column("i_cost_cents", "int"),
+        Column("i_stock", "int"),
+        Column("i_desc", "str"),
+    ]
+)
+
+CUSTOMER_SCHEMA = Schema(
+    [
+        Column("c_id", "int"),
+        Column("c_name", "str"),
+        Column("c_email", "str"),
+        Column("c_since", "int"),
+        Column("c_discount", "int"),
+    ]
+)
+
+ORDER_SCHEMA = Schema(
+    [
+        Column("o_id", "int"),
+        Column("o_c_id", "int"),
+        Column("o_date", "int"),
+        Column("o_total_cents", "int"),
+        Column("o_status", "str"),
+    ]
+)
+
+ORDER_LINE_SCHEMA = Schema(
+    [
+        Column("ol_id", "int"),  # o_id * 100 + line number
+        Column("ol_o_id", "int"),
+        Column("ol_i_id", "int"),
+        Column("ol_qty", "int"),
+    ]
+)
+
+_SUBJECTS = [
+    "Arts", "Biographies", "Business", "Children", "Computers", "Cooking",
+    "Health", "History", "Home", "Humor", "Literature", "Mystery",
+    "Non-Fiction", "Parenting", "Politics", "Reference", "Religion",
+    "Romance", "Self-Help", "Science", "Science-Fiction", "Sports",
+    "Travel", "Youth",
+]
+
+_WORDS = [
+    "Silent", "Golden", "Hidden", "Broken", "Ancient", "Digital", "Lost",
+    "Final", "Burning", "Secret", "Winter", "Crimson", "Hollow", "Iron",
+    "Paper", "Glass", "Empty", "Endless", "Quiet", "Distant",
+]
+
+_NOUNS = [
+    "River", "Empire", "Garden", "Machine", "Harbor", "Forest", "Letter",
+    "Mirror", "Bridge", "Tower", "Island", "Shadow", "Voyage", "Archive",
+    "Engine", "Signal", "Horizon", "Orchard", "Compass", "Ledger",
+]
+
+
+def item_row(item_id: int, rng: random.Random) -> Tuple:
+    title = f"The {rng.choice(_WORDS)} {rng.choice(_NOUNS)} #{item_id}"
+    author = f"{rng.choice(_NOUNS)}, {rng.choice(_WORDS)}"
+    cost = rng.randrange(199, 14999)
+    stock = rng.randrange(10, 1000)
+    desc = (
+        f"A {rng.choice(_SUBJECTS).lower()} title. "
+        + " ".join(rng.choice(_WORDS + _NOUNS) for _ in range(40))
+    )
+    return (item_id, title, author, cost, stock, desc)
+
+
+def customer_row(customer_id: int, rng: random.Random) -> Tuple:
+    name = f"{rng.choice(_NOUNS)} {rng.choice(_WORDS)}{customer_id}"
+    email = f"user{customer_id}@example.com"
+    since = 1_200_000_000 + rng.randrange(0, 200_000_000)
+    discount = rng.randrange(0, 30)
+    return (customer_id, name, email, since, discount)
+
+
+def item_image(item_id: int, size: int = 5 * 1024) -> bytes:
+    """A deterministic pseudo-image blob for item thumbnails."""
+    rng = random.Random(item_id * 7919)
+    return bytes(rng.getrandbits(8) for _ in range(256)) * (size // 256)
+
+
+def page_html(name: str, size: int = 8 * 1024) -> bytes:
+    """Static HTML shell for one page type."""
+    body = (f"<html><head><title>TPC-W {name}</title></head><body>"
+            f"<!-- {name} -->").encode("ascii")
+    filler = (name.encode("ascii") + b" ") * ((size - len(body)) // (len(name) + 1) + 1)
+    return (body + filler)[:size]
+
+
+PAGE_NAMES = [
+    "home", "search_request", "search_results", "product_detail",
+    "shopping_cart", "customer_registration", "buy_request",
+    "buy_confirm", "order_inquiry", "order_display", "best_sellers",
+    "new_products",
+]

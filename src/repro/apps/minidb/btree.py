@@ -1,0 +1,391 @@
+"""A page-based clustered B+tree: minidb's table storage.
+
+Like InnoDB, a table *is* a B+tree on its integer primary key, with row
+payloads inline in the leaves.  Leaves are chained for range scans.
+Values longer than :data:`MAX_INLINE` spill into overflow-page chains.
+Deletion is lazy (no rebalancing) — standard simplification; pages
+reclaim through the pager freelist when overflow chains are freed.
+
+All node I/O goes through the :class:`~repro.apps.minidb.buffer.BufferPool`,
+so tree walks hit memory when the working set fits and hit Tiera when it
+does not.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.apps.minidb.buffer import BufferPool
+from repro.apps.minidb.errors import CorruptPageError
+from repro.apps.minidb.pager import NO_PAGE, PAGE_SIZE, Pager
+from repro.simcloud.resources import RequestContext
+
+LEAF = ord("L")
+INTERNAL = ord("I")
+OVERFLOW = ord("O")
+
+MAX_INLINE = 512  # longer values go to overflow chains
+
+_U16 = struct.Struct("<H")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_OVF_REF = struct.Struct("<QI")  # (first overflow page, total length)
+
+_LEAF_HEADER = 1 + 2 + 8  # type, count, next_leaf
+_INTERNAL_HEADER = 1 + 2 + 8  # type, count, child[0]
+_OVERFLOW_HEADER = 1 + 8 + 2  # type, next, length
+
+
+@dataclass
+class LeafEntry:
+    key: int
+    inline: Optional[bytes]  # None when the value lives in overflow pages
+    overflow_page: int = NO_PAGE
+    overflow_length: int = 0
+
+    def encoded_size(self) -> int:
+        payload = len(self.inline) if self.inline is not None else _OVF_REF.size
+        return 8 + 1 + 2 + payload
+
+
+@dataclass
+class LeafNode:
+    entries: List[LeafEntry] = field(default_factory=list)
+    next_leaf: int = NO_PAGE
+
+    def used(self) -> int:
+        return _LEAF_HEADER + sum(e.encoded_size() for e in self.entries)
+
+    def encode(self) -> bytes:
+        out = bytearray(PAGE_SIZE)
+        out[0] = LEAF
+        _U16.pack_into(out, 1, len(self.entries))
+        _U64.pack_into(out, 3, self.next_leaf)
+        offset = _LEAF_HEADER
+        for entry in self.entries:
+            _I64.pack_into(out, offset, entry.key)
+            offset += 8
+            if entry.inline is not None:
+                out[offset] = 0
+                offset += 1
+                _U16.pack_into(out, offset, len(entry.inline))
+                offset += 2
+                out[offset : offset + len(entry.inline)] = entry.inline
+                offset += len(entry.inline)
+            else:
+                out[offset] = 1
+                offset += 1
+                _U16.pack_into(out, offset, _OVF_REF.size)
+                offset += 2
+                _OVF_REF.pack_into(
+                    out, offset, entry.overflow_page, entry.overflow_length
+                )
+                offset += _OVF_REF.size
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "LeafNode":
+        (count,) = _U16.unpack_from(raw, 1)
+        (next_leaf,) = _U64.unpack_from(raw, 3)
+        entries: List[LeafEntry] = []
+        offset = _LEAF_HEADER
+        for _ in range(count):
+            (key,) = _I64.unpack_from(raw, offset)
+            offset += 8
+            flag = raw[offset]
+            offset += 1
+            (length,) = _U16.unpack_from(raw, offset)
+            offset += 2
+            payload = raw[offset : offset + length]
+            offset += length
+            if flag == 0:
+                entries.append(LeafEntry(key=key, inline=bytes(payload)))
+            else:
+                page, total = _OVF_REF.unpack_from(payload, 0)
+                entries.append(
+                    LeafEntry(
+                        key=key, inline=None,
+                        overflow_page=page, overflow_length=total,
+                    )
+                )
+        return cls(entries=entries, next_leaf=next_leaf)
+
+
+@dataclass
+class InternalNode:
+    """``children[i]`` holds keys < ``keys[i]``; the last child the rest."""
+
+    keys: List[int] = field(default_factory=list)
+    children: List[int] = field(default_factory=list)
+
+    def used(self) -> int:
+        return _INTERNAL_HEADER + 16 * len(self.keys)
+
+    def encode(self) -> bytes:
+        if len(self.children) != len(self.keys) + 1:
+            raise CorruptPageError("internal node fan-out mismatch")
+        out = bytearray(PAGE_SIZE)
+        out[0] = INTERNAL
+        _U16.pack_into(out, 1, len(self.keys))
+        _U64.pack_into(out, 3, self.children[0])
+        offset = _INTERNAL_HEADER
+        for key, child in zip(self.keys, self.children[1:]):
+            _I64.pack_into(out, offset, key)
+            _U64.pack_into(out, offset + 8, child)
+            offset += 16
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "InternalNode":
+        (count,) = _U16.unpack_from(raw, 1)
+        (first_child,) = _U64.unpack_from(raw, 3)
+        keys: List[int] = []
+        children: List[int] = [first_child]
+        offset = _INTERNAL_HEADER
+        for _ in range(count):
+            (key,) = _I64.unpack_from(raw, offset)
+            (child,) = _U64.unpack_from(raw, offset + 8)
+            keys.append(key)
+            children.append(child)
+            offset += 16
+        return cls(keys=keys, children=children)
+
+    def child_for(self, key: int) -> Tuple[int, int]:
+        """(index, child page) on the search path for ``key``."""
+        idx = 0
+        while idx < len(self.keys) and key >= self.keys[idx]:
+            idx += 1
+        return idx, self.children[idx]
+
+
+def _node_type(raw: bytes) -> int:
+    return raw[0]
+
+
+class BTree:
+    """The tree itself; root page number lives in the pager header."""
+
+    def __init__(self, pool: BufferPool, pager: Pager):
+        self.pool = pool
+        self.pager = pager
+        if self.pager.root_page == NO_PAGE:
+            root = self.pager.allocate_page()
+            self.pool.put(root, bytearray(LeafNode().encode()))
+            self.pager.root_page = root
+
+    # -- node helpers -------------------------------------------------------
+
+    def _load(self, page_no: int, ctx: Optional[RequestContext]):
+        raw = bytes(self.pool.get(page_no, ctx=ctx))
+        kind = _node_type(raw)
+        if kind == LEAF:
+            return LeafNode.decode(raw)
+        if kind == INTERNAL:
+            return InternalNode.decode(raw)
+        raise CorruptPageError(f"page {page_no}: unknown node type {kind}")
+
+    def _save(self, page_no: int, node, ctx: Optional[RequestContext]) -> None:
+        self.pool.put(page_no, bytearray(node.encode()), ctx=ctx)
+
+    # -- overflow chains ------------------------------------------------------
+
+    def _write_overflow(self, value: bytes, ctx) -> int:
+        """Store ``value`` across a chain of overflow pages; returns head."""
+        chunk_size = PAGE_SIZE - _OVERFLOW_HEADER
+        chunks = [value[i : i + chunk_size] for i in range(0, len(value), chunk_size)]
+        next_page = NO_PAGE
+        for chunk in reversed(chunks):
+            page_no = self.pager.allocate_page(ctx=ctx)
+            raw = bytearray(PAGE_SIZE)
+            raw[0] = OVERFLOW
+            _U64.pack_into(raw, 1, next_page)
+            _U16.pack_into(raw, 9, len(chunk))
+            raw[_OVERFLOW_HEADER : _OVERFLOW_HEADER + len(chunk)] = chunk
+            self.pool.put(page_no, raw, ctx=ctx)
+            next_page = page_no
+        return next_page
+
+    def _read_overflow(self, head: int, total: int, ctx) -> bytes:
+        out = bytearray()
+        page_no = head
+        while page_no != NO_PAGE and len(out) < total:
+            raw = bytes(self.pool.get(page_no, ctx=ctx))
+            if _node_type(raw) != OVERFLOW:
+                raise CorruptPageError(f"page {page_no}: expected overflow page")
+            (next_page,) = _U64.unpack_from(raw, 1)
+            (length,) = _U16.unpack_from(raw, 9)
+            out.extend(raw[_OVERFLOW_HEADER : _OVERFLOW_HEADER + length])
+            page_no = next_page
+        if len(out) != total:
+            raise CorruptPageError("overflow chain shorter than recorded length")
+        return bytes(out)
+
+    def _free_overflow(self, head: int, ctx) -> None:
+        page_no = head
+        while page_no != NO_PAGE:
+            raw = bytes(self.pool.get(page_no, ctx=ctx))
+            (next_page,) = _U64.unpack_from(raw, 1)
+            self.pool.drop(page_no)
+            self.pager.free_page(page_no, ctx=ctx)
+            page_no = next_page
+
+    def _entry_value(self, entry: LeafEntry, ctx) -> bytes:
+        if entry.inline is not None:
+            return entry.inline
+        return self._read_overflow(entry.overflow_page, entry.overflow_length, ctx)
+
+    def _make_entry(self, key: int, value: bytes, ctx) -> LeafEntry:
+        if len(value) <= MAX_INLINE:
+            return LeafEntry(key=key, inline=value)
+        head = self._write_overflow(value, ctx)
+        return LeafEntry(
+            key=key, inline=None, overflow_page=head, overflow_length=len(value)
+        )
+
+    # -- public operations ---------------------------------------------------------
+
+    def search(self, key: int, ctx: Optional[RequestContext] = None) -> Optional[bytes]:
+        page_no = self.pager.root_page
+        node = self._load(page_no, ctx)
+        while isinstance(node, InternalNode):
+            _, page_no = node.child_for(key)
+            node = self._load(page_no, ctx)
+        for entry in node.entries:
+            if entry.key == key:
+                return self._entry_value(entry, ctx)
+        return None
+
+    def insert(
+        self,
+        key: int,
+        value: bytes,
+        ctx: Optional[RequestContext] = None,
+        overwrite: bool = True,
+    ) -> bool:
+        """Insert or overwrite; returns True when the key was new."""
+        result = self._insert_into(self.pager.root_page, key, value, ctx, overwrite)
+        inserted, split = result
+        if split is not None:
+            sep_key, new_page = split
+            new_root_no = self.pager.allocate_page(ctx=ctx)
+            root = InternalNode(
+                keys=[sep_key], children=[self.pager.root_page, new_page]
+            )
+            self._save(new_root_no, root, ctx)
+            self.pager.root_page = new_root_no
+        return inserted
+
+    def _insert_into(
+        self, page_no: int, key: int, value: bytes, ctx, overwrite: bool
+    ) -> Tuple[bool, Optional[Tuple[int, int]]]:
+        node = self._load(page_no, ctx)
+        if isinstance(node, InternalNode):
+            idx, child = node.child_for(key)
+            inserted, split = self._insert_into(child, key, value, ctx, overwrite)
+            if split is None:
+                return inserted, None
+            sep_key, new_page = split
+            node.keys.insert(idx, sep_key)
+            node.children.insert(idx + 1, new_page)
+            if node.used() <= PAGE_SIZE:
+                self._save(page_no, node, ctx)
+                return inserted, None
+            return inserted, self._split_internal(page_no, node, ctx)
+        return self._insert_leaf(page_no, node, key, value, ctx, overwrite)
+
+    def _insert_leaf(
+        self, page_no: int, leaf: LeafNode, key: int, value: bytes, ctx,
+        overwrite: bool,
+    ) -> Tuple[bool, Optional[Tuple[int, int]]]:
+        idx = 0
+        while idx < len(leaf.entries) and leaf.entries[idx].key < key:
+            idx += 1
+        exists = idx < len(leaf.entries) and leaf.entries[idx].key == key
+        if exists:
+            if not overwrite:
+                return False, None
+            old = leaf.entries[idx]
+            if old.inline is None:
+                self._free_overflow(old.overflow_page, ctx)
+            leaf.entries[idx] = self._make_entry(key, value, ctx)
+        else:
+            leaf.entries.insert(idx, self._make_entry(key, value, ctx))
+        if leaf.used() <= PAGE_SIZE:
+            self._save(page_no, leaf, ctx)
+            return not exists, None
+        return not exists, self._split_leaf(page_no, leaf, ctx)
+
+    def _split_leaf(self, page_no: int, leaf: LeafNode, ctx) -> Tuple[int, int]:
+        mid = len(leaf.entries) // 2
+        right = LeafNode(entries=leaf.entries[mid:], next_leaf=leaf.next_leaf)
+        left = LeafNode(entries=leaf.entries[:mid])
+        new_page = self.pager.allocate_page(ctx=ctx)
+        left.next_leaf = new_page
+        self._save(page_no, left, ctx)
+        self._save(new_page, right, ctx)
+        return right.entries[0].key, new_page
+
+    def _split_internal(
+        self, page_no: int, node: InternalNode, ctx
+    ) -> Tuple[int, int]:
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = InternalNode(
+            keys=node.keys[mid + 1 :], children=node.children[mid + 1 :]
+        )
+        left = InternalNode(keys=node.keys[:mid], children=node.children[: mid + 1])
+        new_page = self.pager.allocate_page(ctx=ctx)
+        self._save(page_no, left, ctx)
+        self._save(new_page, right, ctx)
+        return sep_key, new_page
+
+    def delete(self, key: int, ctx: Optional[RequestContext] = None) -> bool:
+        """Remove a key (lazy: leaves may underflow); True if it existed."""
+        page_no = self.pager.root_page
+        node = self._load(page_no, ctx)
+        while isinstance(node, InternalNode):
+            _, page_no = node.child_for(key)
+            node = self._load(page_no, ctx)
+        for idx, entry in enumerate(node.entries):
+            if entry.key == key:
+                if entry.inline is None:
+                    self._free_overflow(entry.overflow_page, ctx)
+                del node.entries[idx]
+                self._save(page_no, node, ctx)
+                return True
+        return False
+
+    def scan(
+        self,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        ctx: Optional[RequestContext] = None,
+    ) -> Iterator[Tuple[int, bytes]]:
+        """Yield (key, value) for start <= key < end, in key order."""
+        page_no = self.pager.root_page
+        node = self._load(page_no, ctx)
+        probe = start if start is not None else -(2 ** 62)
+        while isinstance(node, InternalNode):
+            _, page_no = node.child_for(probe)
+            node = self._load(page_no, ctx)
+        while True:
+            for entry in node.entries:
+                if start is not None and entry.key < start:
+                    continue
+                if end is not None and entry.key >= end:
+                    return
+                yield entry.key, self._entry_value(entry, ctx)
+            if node.next_leaf == NO_PAGE:
+                return
+            node = self._load(node.next_leaf, ctx)
+
+    def depth(self, ctx: Optional[RequestContext] = None) -> int:
+        """Tree height (1 = a single leaf)."""
+        levels = 1
+        node = self._load(self.pager.root_page, ctx)
+        while isinstance(node, InternalNode):
+            levels += 1
+            node = self._load(node.children[0], ctx)
+        return levels

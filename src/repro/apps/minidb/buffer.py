@@ -1,0 +1,115 @@
+"""The buffer pool: minidb's page cache (MySQL's buffer pool role).
+
+Pages read through the pool stay resident (LRU); writes dirty the
+in-pool copy and reach the pager only on eviction or checkpoint.  This
+is the cache whose hit rate drives the paper's Figure 7 curves: when the
+hot set fits, reads cost microseconds; when it does not, every miss is a
+storage round trip against whatever tier holds the page.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Set
+
+from repro.apps.minidb.pager import PAGE_SIZE, Pager
+from repro.simcloud.resources import RequestContext
+
+# A buffer-pool hit costs a hash lookup and a memcpy.
+HIT_COST = 2e-6
+
+
+class BufferPool:
+    """Byte-budgeted (page-counted) LRU cache over one pager."""
+
+    def __init__(self, pager: Pager, capacity_pages: int):
+        if capacity_pages < 4:
+            raise ValueError("buffer pool needs at least 4 pages")
+        self.pager = pager
+        self.capacity = capacity_pages
+        self._pages: "OrderedDict[int, bytearray]" = OrderedDict()
+        self._dirty: Set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, page_no: int, ctx: Optional[RequestContext] = None) -> bytearray:
+        """A mutable view of the page; call :meth:`mark_dirty` after
+        mutating it."""
+        page = self._pages.get(page_no)
+        if page is not None:
+            self._pages.move_to_end(page_no)
+            self.hits += 1
+            if ctx is not None:
+                ctx.wait(HIT_COST)
+            return page
+        self.misses += 1
+        data = bytearray(self.pager.read_page(page_no, ctx=ctx))
+        self._install(page_no, data, ctx)
+        return data
+
+    def put(
+        self, page_no: int, data: bytearray, ctx: Optional[RequestContext] = None
+    ) -> None:
+        """Install page content (e.g. a freshly allocated page) as dirty."""
+        if len(data) != PAGE_SIZE:
+            raise ValueError(f"page must be exactly {PAGE_SIZE} bytes")
+        if page_no in self._pages:
+            self._pages[page_no] = data
+            self._pages.move_to_end(page_no)
+        else:
+            self._install(page_no, data, ctx)
+        self._dirty.add(page_no)
+
+    def mark_dirty(self, page_no: int) -> None:
+        if page_no not in self._pages:
+            raise KeyError(f"page {page_no} is not resident")
+        self._dirty.add(page_no)
+
+    def _install(
+        self, page_no: int, data: bytearray, ctx: Optional[RequestContext]
+    ) -> None:
+        self._pages[page_no] = data
+        while len(self._pages) > self.capacity:
+            victim_no, victim = self._pages.popitem(last=False)
+            if victim_no == page_no:
+                # Do not evict the page being installed.
+                self._pages[victim_no] = victim
+                victim_no, victim = self._pages.popitem(last=False)
+            if victim_no in self._dirty:
+                self.pager.write_page(victim_no, bytes(victim), ctx=ctx)
+                self._dirty.discard(victim_no)
+            self.evictions += 1
+
+    # -- durability ----------------------------------------------------------
+
+    def flush(self, ctx: Optional[RequestContext] = None) -> int:
+        """Write out every dirty page (checkpoint); returns pages written."""
+        written = 0
+        for page_no in sorted(self._dirty):
+            page = self._pages.get(page_no)
+            if page is not None:
+                self.pager.write_page(page_no, bytes(page), ctx=ctx)
+                written += 1
+        self._dirty.clear()
+        return written
+
+    def drop(self, page_no: int) -> None:
+        """Forget a page (after :meth:`Pager.free_page`)."""
+        self._pages.pop(page_no, None)
+        self._dirty.discard(page_no)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def resident(self) -> int:
+        return len(self._pages)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,241 @@
+"""The Database facade: catalog, engine, journal, checkpointing.
+
+One :class:`Database` is one deployment — point it at a
+:class:`~repro.fs.filesystem.TieraFileSystem` backed by whichever Tiera
+instance (or bare-EBS instance) the experiment calls for, and it lays
+out ``/<name>/catalog.json``, one ``.tbl`` file per table, and
+``journal.log``.  Checkpoints fire automatically once the journal
+outgrows ``checkpoint_bytes`` — the background write bursts real
+databases exhibit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.minidb.engine import MemoryEngine, TransactionalEngine
+from repro.apps.minidb.errors import DatabaseError, NoSuchTableError
+from repro.apps.minidb.journal import Journal
+from repro.apps.minidb.records import Column, Schema
+from repro.apps.minidb.table import Table
+from repro.fs.filesystem import TieraFileSystem
+from repro.simcloud.resources import RequestContext
+
+DEFAULT_CHECKPOINT_BYTES = 4 * 1024 * 1024
+
+
+class Database:
+    """A named database over one file system."""
+
+    def __init__(
+        self,
+        fs: Optional[TieraFileSystem],
+        name: str = "minidb",
+        engine: str = "transactional",
+        buffer_pool_pages: int = 256,
+        journal_readonly: bool = True,
+        checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+    ):
+        if engine not in ("transactional", "memory"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if fs is None and engine != "memory":
+            raise ValueError("the transactional engine needs a file system")
+        self.fs = fs
+        self.name = name
+        self.engine_kind = engine
+        self.buffer_pool_pages = buffer_pool_pages
+        self.checkpoint_bytes = checkpoint_bytes
+        self.checkpoints = 0
+        self._catalog_path = f"/{name}/catalog.json"
+        self._schemas: Dict[str, Schema] = {}
+        if engine == "memory":
+            self.memory_engine: Optional[MemoryEngine] = MemoryEngine()
+            self.engine: Optional[TransactionalEngine] = None
+            self.journal: Optional[Journal] = None
+        else:
+            self.memory_engine = None
+            self.journal = Journal(fs, f"/{name}/journal.log")
+            self.engine = TransactionalEngine(
+                self.journal, journal_readonly=journal_readonly
+            )
+            self._load_catalog()
+            if self._schemas:
+                self.engine.recover()
+
+    # -- catalog -----------------------------------------------------------
+
+    def _load_catalog(self) -> None:
+        if not self.fs.exists(self._catalog_path):
+            return
+        with self.fs.open(self._catalog_path, "r") as handle:
+            doc = json.loads(handle.read().decode("utf-8"))
+        for table_name, columns in doc.items():
+            schema = Schema([Column(n, t) for n, t in columns])
+            self._schemas[table_name] = schema
+            self.engine.tables[table_name] = Table(
+                self.fs,
+                self._table_path(table_name),
+                schema,
+                buffer_pool_pages=self.buffer_pool_pages,
+            )
+
+    def _save_catalog(self, ctx: Optional[RequestContext] = None) -> None:
+        doc = {
+            name: [[c.name, c.type] for c in schema.columns]
+            for name, schema in self._schemas.items()
+        }
+        with self.fs.open(self._catalog_path, "w") as handle:
+            handle.write(json.dumps(doc, sort_keys=True).encode("utf-8"), ctx=ctx)
+
+    def _table_path(self, table: str) -> str:
+        return f"/{self.name}/{table}.tbl"
+
+    # -- DDL ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        ctx: Optional[RequestContext] = None,
+    ) -> None:
+        if name in self._schemas or (
+            self.memory_engine is not None and name in self.memory_engine.data
+        ):
+            raise DatabaseError(f"table {name!r} already exists")
+        if self.memory_engine is not None:
+            self.memory_engine.create_table(name, schema)
+            return
+        self._schemas[name] = schema
+        self.engine.tables[name] = Table(
+            self.fs,
+            self._table_path(name),
+            schema,
+            buffer_pool_pages=self.buffer_pool_pages,
+            create=True,
+            ctx=ctx,
+        )
+        self._save_catalog(ctx)
+
+    def schema(self, table: str) -> Schema:
+        if self.memory_engine is not None:
+            try:
+                return self.memory_engine.schemas[table]
+            except KeyError:
+                raise NoSuchTableError(table) from None
+        try:
+            return self._schemas[table]
+        except KeyError:
+            raise NoSuchTableError(table) from None
+
+    def tables(self) -> List[str]:
+        if self.memory_engine is not None:
+            return sorted(self.memory_engine.data)
+        return sorted(self._schemas)
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self):
+        if self.memory_engine is not None:
+            return self.memory_engine.begin()
+        return self.engine.begin()
+
+    def transaction(self):
+        """Context-manager alias for :meth:`begin`."""
+        return self.begin()
+
+    # -- autocommit conveniences -----------------------------------------------------
+
+    def get(
+        self, table: str, key: int, ctx: Optional[RequestContext] = None
+    ) -> Optional[Tuple[Any, ...]]:
+        txn = self.begin()
+        row = txn.get(table, key, ctx=ctx)
+        txn.commit(ctx=ctx)
+        self._maybe_checkpoint(ctx)
+        return row
+
+    def insert(
+        self, table: str, row: Sequence[Any], ctx: Optional[RequestContext] = None
+    ) -> None:
+        txn = self.begin()
+        txn.insert(table, row, ctx=ctx)
+        txn.commit(ctx=ctx)
+        self._maybe_checkpoint(ctx)
+
+    def update(
+        self,
+        table: str,
+        key: int,
+        row: Sequence[Any],
+        ctx: Optional[RequestContext] = None,
+    ) -> None:
+        txn = self.begin()
+        txn.update(table, key, row, ctx=ctx)
+        txn.commit(ctx=ctx)
+        self._maybe_checkpoint(ctx)
+
+    def delete(
+        self, table: str, key: int, ctx: Optional[RequestContext] = None
+    ) -> None:
+        txn = self.begin()
+        txn.delete(table, key, ctx=ctx)
+        txn.commit(ctx=ctx)
+        self._maybe_checkpoint(ctx)
+
+    # -- durability ---------------------------------------------------------------------
+
+    def _maybe_checkpoint(self, ctx: Optional[RequestContext]) -> None:
+        if self.journal is None:
+            return
+        if self.journal.bytes_since_checkpoint >= self.checkpoint_bytes:
+            # The flusher thread does checkpoints in the background: the
+            # page writes contend for the device but do not land on the
+            # committing client's latency.
+            background = ctx.fork() if ctx is not None else None
+            self.checkpoint(background)
+
+    def maybe_checkpoint(self, ctx: Optional[RequestContext] = None) -> None:
+        """Public hook for workload drivers running raw transactions."""
+        self._maybe_checkpoint(ctx)
+
+    def checkpoint(self, ctx: Optional[RequestContext] = None) -> None:
+        """Flush all dirty pages, then truncate the journal."""
+        if self.engine is None:
+            return
+        for table in self.engine.tables.values():
+            table.checkpoint(ctx=ctx)
+        self.journal.checkpoint(ctx=ctx)
+        self.checkpoints += 1
+
+    def close(self, ctx: Optional[RequestContext] = None) -> None:
+        if self.engine is not None:
+            for table in self.engine.tables.values():
+                table.close(ctx=ctx)
+            self.journal.close(ctx=ctx)
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        if self.memory_engine is not None:
+            return {
+                "engine": "memory",
+                "commits": self.memory_engine.commits,
+                "tables": {
+                    name: len(rows) for name, rows in self.memory_engine.data.items()
+                },
+            }
+        out: Dict[str, Any] = {
+            "engine": "transactional",
+            "commits": self.engine.commits,
+            "rollbacks": self.engine.rollbacks,
+            "checkpoints": self.checkpoints,
+            "tables": {},
+        }
+        for name, table in self.engine.tables.items():
+            out["tables"][name] = {
+                "rows": table.row_count,
+                "pages": table.pager.page_count,
+                "pool_hit_rate": table.pool.hit_rate,
+            }
+        return out

@@ -1,0 +1,306 @@
+"""Storage engines: transactional (InnoDB-like) and memory.
+
+The transactional engine gives minidb MySQL's default behaviour:
+row-level locks, immediate application with in-memory undo, redo
+journalling forced at commit.  The memory engine reproduces the MySQL
+Memory Engine the paper benchmarks against in §4.1.1: tables live in
+one node's RAM, there are no transactions, and *table-level* locking
+convoys every client through one serial resource — which is why the
+paper measured ≈0.15 TPS from it under sysbench's transactional
+workload regardless of mix.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.minidb.errors import (
+    DuplicateKeyError,
+    NoSuchRowError,
+    NoSuchTableError,
+    TransactionError,
+)
+from repro.apps.minidb.journal import Journal
+from repro.apps.minidb.locks import EXCLUSIVE, RowLockManager, SHARED, TableLockManager
+from repro.apps.minidb.records import Schema, encode_row
+from repro.apps.minidb.table import Table
+from repro.simcloud.resources import RequestContext
+
+Row = Tuple[Any, ...]
+
+#: Calibrated cost of one sysbench-style transaction against the MySQL
+#: Memory Engine under concurrency: with only table-level locks and no
+#: transaction support, clients convoy behind LOCK/UNLOCK TABLES with
+#: retry backoff.  The paper measured ≈0.15 TPS across workloads; one
+#: serialized transaction every ~6.5 s reproduces that.
+MEMORY_ENGINE_TXN_PENALTY = 6.5
+
+#: CPU cost of one hash-table operation in the memory engine.
+MEMORY_OP_COST = 2e-6
+
+_txn_ids = itertools.count(1)
+
+
+class Transaction:
+    """A transactional-engine transaction: row locks + undo + redo."""
+
+    def __init__(self, engine: "TransactionalEngine"):
+        self.engine = engine
+        self.txn_id = next(_txn_ids)
+        self.active = True
+        self._undo: List[Tuple[str, int, Optional[bytes]]] = []
+        self._began_in_journal = False
+        self._wrote = False
+
+    def _check_active(self) -> None:
+        if not self.active:
+            raise TransactionError(f"txn {self.txn_id} is no longer active")
+
+    def _journal_begin(self, ctx: Optional[RequestContext]) -> None:
+        if not self._began_in_journal:
+            self.engine.journal.log_begin(self.txn_id, ctx=ctx)
+            self._began_in_journal = True
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(
+        self, table: str, key: int, ctx: Optional[RequestContext] = None
+    ) -> Optional[Row]:
+        self._check_active()
+        self.engine.locks.acquire(self.txn_id, table, key, SHARED)
+        return self.engine.table(table).get(key, ctx=ctx)
+
+    def scan(
+        self,
+        table: str,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        ctx: Optional[RequestContext] = None,
+    ):
+        self._check_active()
+        return self.engine.table(table).scan(start, end, ctx=ctx)
+
+    # -- writes --------------------------------------------------------------
+
+    def insert(
+        self, table: str, row: Sequence[Any], ctx: Optional[RequestContext] = None
+    ) -> None:
+        self._check_active()
+        key = row[0]
+        self.engine.locks.acquire(self.txn_id, table, key, EXCLUSIVE)
+        tbl = self.engine.table(table)
+        before = tbl.get_raw(key, ctx=ctx)
+        if before is not None:
+            raise DuplicateKeyError(table, key)
+        tbl.insert(row, ctx=ctx)
+        after = encode_row(tuple(row))
+        self._undo.append((table, key, None))
+        self._journal_begin(ctx)
+        self.engine.journal.log_update(self.txn_id, table, key, None, after, ctx=ctx)
+        self._wrote = True
+
+    def update(
+        self,
+        table: str,
+        key: int,
+        row: Sequence[Any],
+        ctx: Optional[RequestContext] = None,
+    ) -> None:
+        self._check_active()
+        self.engine.locks.acquire(self.txn_id, table, key, EXCLUSIVE)
+        tbl = self.engine.table(table)
+        before = tbl.get_raw(key, ctx=ctx)
+        if before is None:
+            raise NoSuchRowError(table, key)
+        tbl.update(key, row, ctx=ctx)
+        after = encode_row(tuple(row))
+        self._undo.append((table, key, before))
+        self._journal_begin(ctx)
+        self.engine.journal.log_update(self.txn_id, table, key, before, after, ctx=ctx)
+        self._wrote = True
+
+    def delete(
+        self, table: str, key: int, ctx: Optional[RequestContext] = None
+    ) -> None:
+        self._check_active()
+        self.engine.locks.acquire(self.txn_id, table, key, EXCLUSIVE)
+        tbl = self.engine.table(table)
+        before = tbl.get_raw(key, ctx=ctx)
+        if before is None:
+            raise NoSuchRowError(table, key)
+        tbl.delete(key, ctx=ctx)
+        self._undo.append((table, key, before))
+        self._journal_begin(ctx)
+        self.engine.journal.log_update(self.txn_id, table, key, before, None, ctx=ctx)
+        self._wrote = True
+
+    # -- outcome ------------------------------------------------------------------
+
+    def commit(self, ctx: Optional[RequestContext] = None) -> None:
+        self._check_active()
+        if self._wrote or self.engine.journal_readonly:
+            self._journal_begin(ctx)
+            self.engine.journal.log_commit(
+                self.txn_id, ctx=ctx, force=self._wrote
+            )
+        self.engine.locks.release_all(self.txn_id)
+        self.active = False
+        self.engine.commits += 1
+
+    def rollback(self, ctx: Optional[RequestContext] = None) -> None:
+        self._check_active()
+        for table, key, before in reversed(self._undo):
+            tbl = self.engine.table(table)
+            if before is None:
+                tbl.delete_raw(key, ctx=ctx)
+            else:
+                tbl.put_raw(key, before, ctx=ctx)
+        self.engine.locks.release_all(self.txn_id)
+        self.active = False
+        self.engine.rollbacks += 1
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.active:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+
+
+class TransactionalEngine:
+    """Row locks, WAL, crash recovery — the deployment default."""
+
+    def __init__(self, journal: Journal, journal_readonly: bool = True):
+        self.journal = journal
+        self.journal_readonly = journal_readonly
+        self.locks = RowLockManager()
+        self.tables: Dict[str, Table] = {}
+        self.commits = 0
+        self.rollbacks = 0
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise NoSuchTableError(name) from None
+
+    def begin(self) -> Transaction:
+        return Transaction(self)
+
+    def recover(self, ctx: Optional[RequestContext] = None) -> int:
+        """Replay committed journal records; returns rows re-applied."""
+        applied = 0
+        for record in self.journal.committed_records(ctx=ctx):
+            if record.table not in self.tables:
+                continue
+            tbl = self.tables[record.table]
+            if record.after is None:
+                tbl.delete_raw(record.key, ctx=ctx)
+            else:
+                tbl.put_raw(record.key, record.after, ctx=ctx)
+            applied += 1
+        return applied
+
+
+class MemoryTransaction:
+    """Memory-engine 'transaction': table-level locks, no atomicity."""
+
+    def __init__(self, engine: "MemoryEngine"):
+        self.engine = engine
+        self.active = True
+        self._ops = 0
+        self._tables_touched: set = set()
+
+    def _touch(self, table: str) -> Dict[int, Row]:
+        if table not in self.engine.data:
+            raise NoSuchTableError(table)
+        self._tables_touched.add(table)
+        self._ops += 1
+        return self.engine.data[table]
+
+    def get(
+        self, table: str, key: int, ctx: Optional[RequestContext] = None
+    ) -> Optional[Row]:
+        return self._touch(table).get(key)
+
+    def scan(self, table: str, start=None, end=None, ctx=None):
+        rows = self._touch(table)
+        for key in sorted(rows):
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                break
+            yield key, rows[key]
+
+    def insert(self, table: str, row: Sequence[Any], ctx=None) -> None:
+        rows = self._touch(table)
+        key = row[0]
+        if key in rows:
+            raise DuplicateKeyError(table, key)
+        rows[key] = tuple(row)
+
+    def update(self, table: str, key: int, row: Sequence[Any], ctx=None) -> None:
+        rows = self._touch(table)
+        if key not in rows:
+            raise NoSuchRowError(table, key)
+        rows[key] = tuple(row)
+
+    def delete(self, table: str, key: int, ctx=None) -> None:
+        rows = self._touch(table)
+        if key not in rows:
+            raise NoSuchRowError(table, key)
+        del rows[key]
+
+    def commit(self, ctx: Optional[RequestContext] = None) -> None:
+        """Charge the serialized table-lock convoy for this transaction."""
+        if not self.active:
+            raise TransactionError("memory transaction already finished")
+        if ctx is not None:
+            for table in self._tables_touched:
+                ctx.use(
+                    self.engine.locks.resource(table),
+                    self.engine.txn_penalty + self._ops * MEMORY_OP_COST,
+                )
+        self.active = False
+        self.engine.commits += 1
+
+    def rollback(self, ctx: Optional[RequestContext] = None) -> None:
+        # No transactions: work already applied cannot be undone.  This
+        # is precisely the Memory Engine limitation the paper notes.
+        raise TransactionError("the memory engine does not support rollback")
+
+    def __enter__(self) -> "MemoryTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.active and exc_type is None:
+            self.commit()
+
+
+class MemoryEngine:
+    """MySQL Memory Engine stand-in: volatile, table-locked, non-ACID."""
+
+    def __init__(self, txn_penalty: float = MEMORY_ENGINE_TXN_PENALTY):
+        self.data: Dict[str, Dict[int, Row]] = {}
+        self.schemas: Dict[str, Schema] = {}
+        self.locks = TableLockManager()
+        self.txn_penalty = txn_penalty
+        self.commits = 0
+
+    def create_table(self, name: str, schema: Schema) -> None:
+        if name in self.data:
+            raise ValueError(f"table {name!r} already exists")
+        self.data[name] = {}
+        self.schemas[name] = schema
+
+    def begin(self) -> MemoryTransaction:
+        return MemoryTransaction(self)
+
+    def node_failure(self) -> None:
+        """All tables lost — the single-node-memory fragility of §4.1.1."""
+        for table in self.data.values():
+            table.clear()

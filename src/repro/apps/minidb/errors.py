@@ -1,0 +1,35 @@
+"""minidb exception types."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for minidb errors."""
+
+
+class NoSuchTableError(DatabaseError, KeyError):
+    def __init__(self, table: str):
+        self.table = table
+        super().__init__(f"no table {table!r}")
+
+
+class NoSuchRowError(DatabaseError, KeyError):
+    def __init__(self, table: str, key):
+        self.table = table
+        self.key = key
+        super().__init__(f"{table!r}: no row with key {key!r}")
+
+
+class DuplicateKeyError(DatabaseError):
+    def __init__(self, table: str, key):
+        self.table = table
+        self.key = key
+        super().__init__(f"{table!r}: duplicate key {key!r}")
+
+
+class TransactionError(DatabaseError):
+    """Commit/rollback misuse or unsupported transactional feature."""
+
+
+class CorruptPageError(DatabaseError):
+    """A page failed structural validation when loaded."""

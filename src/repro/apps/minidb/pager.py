@@ -1,0 +1,125 @@
+"""Page-level storage for minidb.
+
+A database file is an array of 4 KB pages — deliberately equal to the
+FUSE gateway's block size, so one page I/O is exactly one Tiera object
+I/O (the paper's MySQL-over-Tiera arrangement).  Page 0 is the header
+(magic, page count, freelist head, B+tree root, row count); freed pages
+form a linked freelist.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.apps.minidb.errors import CorruptPageError
+from repro.fs.filesystem import TieraFileSystem
+from repro.simcloud.resources import RequestContext
+
+PAGE_SIZE = 4096
+MAGIC = b"MDB1"
+NO_PAGE = 0  # page 0 is the header, so 0 doubles as "null pointer"
+
+_HEADER = struct.Struct("<4sQQQQ")  # magic, page_count, freelist, root, row_count
+
+
+class Pager:
+    """Reads, writes, allocates, and frees pages of one database file."""
+
+    def __init__(
+        self,
+        fs: TieraFileSystem,
+        path: str,
+        create: bool = False,
+        ctx: Optional[RequestContext] = None,
+    ):
+        self.fs = fs
+        self.path = path
+        if create or not fs.exists(path):
+            self.file = fs.open(path, "w+")
+            self.page_count = 1
+            self.freelist_head = NO_PAGE
+            self.root_page = NO_PAGE
+            self.row_count = 0
+            self._write_header(ctx)
+        else:
+            self.file = fs.open(path, "r+")
+            self._read_header(ctx)
+
+    # -- header --------------------------------------------------------------
+
+    def _read_header(self, ctx: Optional[RequestContext]) -> None:
+        self.file.seek(0)
+        raw = self.file.read(PAGE_SIZE, ctx=ctx)
+        if len(raw) < _HEADER.size:
+            raise CorruptPageError(f"{self.path}: truncated header")
+        magic, page_count, freelist, root, rows = _HEADER.unpack_from(raw, 0)
+        if magic != MAGIC:
+            raise CorruptPageError(f"{self.path}: bad magic {magic!r}")
+        self.page_count = page_count
+        self.freelist_head = freelist
+        self.root_page = root
+        self.row_count = rows
+
+    def _write_header(self, ctx: Optional[RequestContext]) -> None:
+        raw = bytearray(PAGE_SIZE)
+        _HEADER.pack_into(
+            raw, 0, MAGIC, self.page_count, self.freelist_head,
+            self.root_page, self.row_count,
+        )
+        self.file.seek(0)
+        self.file.write(bytes(raw), ctx=ctx)
+
+    def sync_header(self, ctx: Optional[RequestContext] = None) -> None:
+        self._write_header(ctx)
+
+    # -- page IO -----------------------------------------------------------------
+
+    def read_page(self, page_no: int, ctx: Optional[RequestContext] = None) -> bytes:
+        if not 0 < page_no < self.page_count:
+            raise CorruptPageError(f"{self.path}: page {page_no} out of range")
+        self.file.seek(page_no * PAGE_SIZE)
+        data = self.file.read(PAGE_SIZE, ctx=ctx)
+        if len(data) < PAGE_SIZE:
+            data = data + b"\x00" * (PAGE_SIZE - len(data))
+        return data
+
+    def write_page(
+        self, page_no: int, data: bytes, ctx: Optional[RequestContext] = None
+    ) -> None:
+        if len(data) != PAGE_SIZE:
+            raise ValueError(f"page must be exactly {PAGE_SIZE} bytes")
+        if not 0 < page_no < self.page_count:
+            raise CorruptPageError(f"{self.path}: page {page_no} out of range")
+        self.file.seek(page_no * PAGE_SIZE)
+        self.file.write(data, ctx=ctx)
+
+    # -- allocation ------------------------------------------------------------------
+
+    def allocate_page(self, ctx: Optional[RequestContext] = None) -> int:
+        """Take a page from the freelist, or grow the file."""
+        if self.freelist_head != NO_PAGE:
+            page_no = self.freelist_head
+            raw = self.read_page(page_no, ctx=ctx)
+            (self.freelist_head,) = struct.unpack_from("<Q", raw, 0)
+            return page_no
+        page_no = self.page_count
+        self.page_count += 1
+        self.file.seek(page_no * PAGE_SIZE)
+        self.file.write(b"\x00" * PAGE_SIZE, ctx=ctx)
+        return page_no
+
+    def free_page(self, page_no: int, ctx: Optional[RequestContext] = None) -> None:
+        raw = bytearray(PAGE_SIZE)
+        struct.pack_into("<Q", raw, 0, self.freelist_head)
+        self.write_page(page_no, bytes(raw), ctx=ctx)
+        self.freelist_head = page_no
+
+    # -- durability -------------------------------------------------------------------
+
+    def flush(self, ctx: Optional[RequestContext] = None) -> None:
+        self.file.flush(ctx=ctx)
+
+    def close(self, ctx: Optional[RequestContext] = None) -> None:
+        self._write_header(ctx)
+        self.file.close(ctx=ctx)

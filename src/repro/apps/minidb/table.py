@@ -1,0 +1,124 @@
+"""A table: one clustered B+tree file plus its buffer pool."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from repro.apps.minidb.btree import BTree
+from repro.apps.minidb.buffer import BufferPool
+from repro.apps.minidb.errors import (
+    CorruptPageError,
+    DuplicateKeyError,
+    NoSuchRowError,
+)
+from repro.apps.minidb.pager import Pager
+from repro.apps.minidb.records import Schema, decode_row, encode_row
+from repro.fs.filesystem import TieraFileSystem
+from repro.simcloud.resources import RequestContext
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """Row storage keyed by the schema's integer primary key."""
+
+    def __init__(
+        self,
+        fs: TieraFileSystem,
+        path: str,
+        schema: Schema,
+        buffer_pool_pages: int = 256,
+        create: bool = False,
+        ctx: Optional[RequestContext] = None,
+    ):
+        self.name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        self.schema = schema
+        try:
+            self.pager = Pager(fs, path, create=create, ctx=ctx)
+        except CorruptPageError:
+            # Crash before the first checkpoint: the data file never made
+            # it to storage intact.  WAL recovery semantics: start from an
+            # empty tree and let the journal replay rebuild the rows.
+            self.pager = Pager(fs, path, create=True, ctx=ctx)
+        self.pool = BufferPool(self.pager, buffer_pool_pages)
+        self.tree = BTree(self.pool, self.pager)
+
+    # -- row operations ------------------------------------------------------
+
+    def get(self, key: int, ctx: Optional[RequestContext] = None) -> Optional[Row]:
+        blob = self.tree.search(key, ctx=ctx)
+        if blob is None:
+            return None
+        return decode_row(blob)
+
+    def get_raw(self, key: int, ctx: Optional[RequestContext] = None) -> Optional[bytes]:
+        return self.tree.search(key, ctx=ctx)
+
+    def insert(
+        self,
+        row: Sequence[Any],
+        ctx: Optional[RequestContext] = None,
+        overwrite: bool = False,
+    ) -> None:
+        self.schema.validate_row(row)
+        key = row[0]
+        was_new = self.tree.insert(key, encode_row(row), ctx=ctx, overwrite=True)
+        if not was_new and not overwrite:
+            raise DuplicateKeyError(self.name, key)
+        if was_new:
+            self.pager.row_count += 1
+
+    def put_raw(
+        self, key: int, blob: bytes, ctx: Optional[RequestContext] = None
+    ) -> None:
+        """Recovery path: install an already-encoded row."""
+        if self.tree.insert(key, blob, ctx=ctx, overwrite=True):
+            self.pager.row_count += 1
+
+    def update(
+        self, key: int, row: Sequence[Any], ctx: Optional[RequestContext] = None
+    ) -> None:
+        self.schema.validate_row(row)
+        if row[0] != key:
+            raise ValueError("cannot change a row's primary key in update()")
+        if self.tree.search(key, ctx=ctx) is None:
+            raise NoSuchRowError(self.name, key)
+        self.tree.insert(key, encode_row(row), ctx=ctx, overwrite=True)
+
+    def delete(self, key: int, ctx: Optional[RequestContext] = None) -> None:
+        if not self.tree.delete(key, ctx=ctx):
+            raise NoSuchRowError(self.name, key)
+        self.pager.row_count -= 1
+
+    def delete_raw(self, key: int, ctx: Optional[RequestContext] = None) -> bool:
+        """Recovery path: delete without raising when absent."""
+        if self.tree.delete(key, ctx=ctx):
+            self.pager.row_count -= 1
+            return True
+        return False
+
+    def scan(
+        self,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        ctx: Optional[RequestContext] = None,
+    ) -> Iterator[Tuple[int, Row]]:
+        for key, blob in self.tree.scan(start, end, ctx=ctx):
+            yield key, decode_row(blob)
+
+    @property
+    def row_count(self) -> int:
+        return self.pager.row_count
+
+    # -- durability ----------------------------------------------------------
+
+    def checkpoint(self, ctx: Optional[RequestContext] = None) -> int:
+        """Flush dirty pages; returns how many were written."""
+        written = self.pool.flush(ctx=ctx)
+        self.pager.sync_header(ctx=ctx)
+        self.pager.flush(ctx=ctx)
+        return written
+
+    def close(self, ctx: Optional[RequestContext] = None) -> None:
+        self.pool.flush(ctx=ctx)
+        self.pager.close(ctx=ctx)

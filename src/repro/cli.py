@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the paper's prototype is operated:
+
+* ``validate <spec-file>`` — parse and compile an instance
+  specification, report its tiers and rules (the compile check the
+  prototype lacked).
+* ``serve <spec-file> [--port P] [--arg name=value ...]`` — compile the
+  spec against a wall-clock simulated cloud and serve it over the RPC
+  protocol, like the prototype's Thrift server on an EC2 instance.
+* ``cost <spec-file>`` — price the specified configuration per month.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.core.server import TieraServer
+from repro.simcloud.clock import WallClock
+from repro.simcloud.cluster import Cluster
+from repro.spec import SpecSyntaxError, compile_spec, parse
+from repro.tiers.registry import TierRegistry
+
+
+def _parse_args_option(pairs: List[str]) -> Dict[str, object]:
+    """--arg t=30 --arg cap=40960 → {"t": 30.0, "cap": 40960.0}."""
+    out: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --arg {pair!r}: expected name=value")
+        name, _, raw = pair.partition("=")
+        try:
+            out[name] = float(raw) if "." in raw else int(raw)
+        except ValueError:
+            out[name] = raw
+    return out
+
+
+def _compile_file(path: str, args: Dict[str, object], wall: bool = False):
+    with open(path) as handle:
+        source = handle.read()
+    clock = WallClock() if wall else None
+    cluster = Cluster(clock=clock)
+    registry = TierRegistry(cluster)
+    instance = compile_spec(source, registry, args=args)
+    return cluster, instance
+
+
+def cmd_validate(options) -> int:
+    try:
+        spec = parse(open(options.spec).read())
+    except SpecSyntaxError as exc:
+        print(f"syntax error: {exc}", file=sys.stderr)
+        return 1
+    print(f"instance {spec.name}")
+    if spec.params:
+        print("  parameters:", ", ".join(
+            f"{p.type_name or ''} {p.name}".strip() for p in spec.params
+        ))
+    for tier in spec.tiers:
+        size = tier.size if tier.size is not None else "unbounded"
+        print(f"  tier {tier.tier_name}: {tier.product}, size={size}")
+    print(f"  events: {len(spec.events)}")
+    if not spec.params:
+        # A fully-ground spec can be compile-checked too.
+        try:
+            _compile_file(options.spec, {})
+        except Exception as exc:  # pragma: no cover - message path
+            print(f"compile error: {exc}", file=sys.stderr)
+            return 1
+        print("  compiles cleanly")
+    return 0
+
+
+def cmd_cost(options) -> int:
+    args = _parse_args_option(options.arg)
+    try:
+        _, instance = _compile_file(options.spec, args)
+    except (SpecSyntaxError, Exception) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{instance.name}: ${instance.monthly_cost():.2f}/month "
+          f"(${instance.cost_per_gb_month():.2f}/GB-month)")
+    for tier in instance.tiers:
+        cap = tier.capacity if tier.capacity is not None else 0
+        marginal = 0.0 if tier.colocated else (
+            instance.price_book.monthly_storage_cost(tier.kind, cap)
+        )
+        print(f"  {tier.name} ({tier.kind}): ${marginal:.2f}")
+    return 0
+
+
+def cmd_serve(options) -> int:
+    from repro.rpc import TieraRpcServer
+
+    args = _parse_args_option(options.arg)
+    try:
+        cluster, instance = _compile_file(options.spec, args, wall=True)
+    except (SpecSyntaxError, Exception) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    server = TieraRpcServer(
+        TieraServer(instance), host=options.host, port=options.port
+    ).start()
+    print(f"{instance.name} serving on {server.host}:{server.port} "
+          f"(tiers: {', '.join(instance.tiers.names())})")
+    print("press Ctrl-C to stop")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        instance.shutdown()
+        cluster.clock.shutdown()
+        print("stopped")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tiera middleware (Middleware 2014 reproduction)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate", help="parse/compile-check a spec")
+    validate.add_argument("spec")
+    validate.set_defaults(func=cmd_validate)
+
+    cost = commands.add_parser("cost", help="price a specification per month")
+    cost.add_argument("spec")
+    cost.add_argument("--arg", action="append", default=[])
+    cost.set_defaults(func=cmd_cost)
+
+    serve = commands.add_parser("serve", help="serve an instance over RPC")
+    serve.add_argument("spec")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--arg", action="append", default=[])
+    serve.set_defaults(func=cmd_serve)
+
+    options = parser.parse_args(argv)
+    return options.func(options)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Tiera core: the paper's contribution.
+
+A :class:`~repro.core.instance.TieraInstance` encapsulates a set of
+storage tiers plus a policy — an ordered list of **event → response**
+rules — and a :class:`~repro.core.server.TieraServer` exposes the
+PUT/GET application interface over it.  Events are *action* events
+(insert/delete/get), *timer* events, and *threshold* events
+(foreground or background); responses are the Table 1 catalogue
+(``store`` … ``shrink``) plus the extensions the paper lists as future
+work (snapshot, versioning).
+"""
+
+from repro.core.actions import Action
+from repro.core.conditions import (
+    And,
+    AttrRef,
+    Comparison,
+    Condition,
+    Literal,
+    Not,
+    Or,
+    TierFull,
+)
+from repro.core.errors import (
+    NoSuchObjectError,
+    PolicyError,
+    TierUnavailableError,
+    TieraError,
+    UnknownTierError,
+)
+from repro.core.events import ActionEvent, Event, ThresholdEvent, TimerEvent
+from repro.core.instance import DROP, TieraInstance
+from repro.core.objects import ObjectMeta
+from repro.core.policy import Policy, Rule
+from repro.core.selectors import (
+    AllObjects,
+    InsertObject,
+    NamedObjects,
+    ObjectsWhere,
+    Selector,
+    TaggedObjects,
+    TierNewest,
+    TierOldest,
+)
+from repro.core.server import TieraServer
+from repro.core.tierset import TierSet
+
+__all__ = [
+    "Action",
+    "DROP",
+    "ActionEvent",
+    "AllObjects",
+    "And",
+    "AttrRef",
+    "Comparison",
+    "Condition",
+    "Event",
+    "InsertObject",
+    "Literal",
+    "NamedObjects",
+    "NoSuchObjectError",
+    "Not",
+    "ObjectMeta",
+    "ObjectsWhere",
+    "Or",
+    "Policy",
+    "PolicyError",
+    "Rule",
+    "Selector",
+    "TaggedObjects",
+    "ThresholdEvent",
+    "TierFull",
+    "TierNewest",
+    "TierOldest",
+    "TierSet",
+    "TierUnavailableError",
+    "TieraError",
+    "TieraInstance",
+    "TieraServer",
+    "TimerEvent",
+    "UnknownTierError",
+]

@@ -1,0 +1,52 @@
+"""Action descriptors: what just happened to the instance.
+
+Action events (§2.2) "occur when actions such as data insertion or
+deletion are performed".  The server builds one :class:`Action` per
+client operation and hands it to the control layer, which matches it
+against the installed action-event rules.  The inserted payload rides
+along so ``store``-type responses triggered by the insert can write it
+without a read-back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.core.objects import ObjectMeta
+
+INSERT = "insert"
+DELETE = "delete"
+GET = "get"
+
+KINDS = frozenset({INSERT, DELETE, GET})
+
+
+@dataclass
+class Action:
+    """One application-visible operation against the instance."""
+
+    kind: str
+    key: str
+    meta: Optional[ObjectMeta] = None
+    #: tier the action targeted, when known ("insert.into == tier1")
+    tier: Optional[str] = None
+    #: payload for inserts
+    data: Optional[bytes] = None
+    #: set by Store/StoreOnce when a rule explicitly placed this payload
+    #: (distinguishes placement policies from reactive copies)
+    placed: bool = field(default=False, compare=False)
+    #: every tier a response freshly wrote this payload to
+    stored_in: Set[str] = field(default_factory=set, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown action kind {self.kind!r}")
+
+    @property
+    def size(self) -> int:
+        return len(self.data) if self.data is not None else 0
+
+    def __repr__(self) -> str:
+        where = f" into={self.tier}" if self.tier else ""
+        return f"<Action {self.kind} {self.key!r}{where}>"

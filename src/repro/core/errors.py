@@ -1,0 +1,46 @@
+"""Tiera exception hierarchy."""
+
+from __future__ import annotations
+
+
+class TieraError(Exception):
+    """Base class for Tiera middleware errors."""
+
+
+class NoSuchObjectError(TieraError, KeyError):
+    """GET/DELETE of an object the instance does not hold."""
+
+    def __init__(self, key: str):
+        self.key = key
+        super().__init__(f"no object {key!r} in this instance")
+
+
+class UnknownTierError(TieraError, KeyError):
+    """A policy or request referenced a tier name not in the instance."""
+
+    def __init__(self, tier: str):
+        self.tier = tier
+        super().__init__(f"no tier named {tier!r} in this instance")
+
+
+class TierUnavailableError(TieraError):
+    """Every tier that could serve the request is failed/unreachable."""
+
+    def __init__(self, key: str, detail: str = ""):
+        self.key = key
+        super().__init__(
+            f"no available tier can serve {key!r}" + (f": {detail}" if detail else "")
+        )
+
+
+class PolicyError(TieraError):
+    """A rule is malformed or cannot be installed/executed."""
+
+
+class NoCapacityError(TieraError):
+    """A store could not find or make room in the target tier."""
+
+    def __init__(self, tier: str, key: str):
+        self.tier = tier
+        self.key = key
+        super().__init__(f"tier {tier!r} cannot fit object {key!r}")

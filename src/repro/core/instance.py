@@ -1,0 +1,494 @@
+"""The Tiera instance: tiers + policy + control + metadata.
+
+"The storage tiers along with the Tiera server constitute a Tiera
+instance" (§2.2).  This class owns the object-metadata table (persisted
+through the embedded kvstore, the prototype's BerkeleyDB role), the
+de-duplication index behind ``storeOnce``, the data-path primitives the
+responses are written against, cost accounting, and the runtime
+reconfiguration entry point the Figure 17 experiment drives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.core.control import ControlLayer
+from repro.core.errors import (
+    NoCapacityError,
+    NoSuchObjectError,
+    TierUnavailableError,
+    UnknownTierError,
+)
+from repro.core.objects import ObjectMeta
+from repro.core.policy import Policy, Rule
+from repro.core.tierset import TierSet
+from repro.kvstore import KVStore, MemoryStore
+from repro.simcloud.clock import Clock
+from repro.simcloud.errors import ServiceUnavailableError
+from repro.simcloud.pricing import PriceBook
+from repro.simcloud.resources import RequestContext
+from repro.tiers.base import Tier
+
+#: Eviction-chain sentinel: discard victims instead of relocating them.
+#: Only victims that also live in another tier may be dropped.
+DROP = "<drop>"
+
+
+class TieraInstance:
+    """One configured multi-tier storage instance."""
+
+    def __init__(
+        self,
+        name: str,
+        tiers: Sequence[Tier],
+        policy: Optional[Policy] = None,
+        clock: Optional[Clock] = None,
+        metadata_store: Optional[KVStore] = None,
+        price_book: Optional[PriceBook] = None,
+        eval_overhead: Optional[float] = None,
+    ):
+        if clock is None:
+            raise ValueError("a TieraInstance needs a clock")
+        self.name = name
+        self.clock = clock
+        self.tiers = TierSet(list(tiers))
+        self.policy = policy if policy is not None else Policy()
+        self.price_book = price_book if price_book is not None else PriceBook()
+        self.metadata_store = (
+            metadata_store if metadata_store is not None else MemoryStore()
+        )
+        control_kwargs = {}
+        if eval_overhead is not None:
+            control_kwargs["eval_overhead"] = eval_overhead
+        self.control = ControlLayer(self, self.policy, clock, **control_kwargs)
+        self._meta: Dict[str, ObjectMeta] = {}
+        self._dedup: Dict[str, str] = {}  # checksum -> canonical key
+        #: tier -> tier overflow map: when making room in a tier, evicted
+        #: LRU objects move to its chain successor (and so on down).
+        #: Templates implementing exclusive LRU tiering set this.
+        self.eviction_chain: Dict[str, str] = {}
+        #: object versioning (paper §2.2 future work): when enabled, an
+        #: overwrite first preserves the old bytes as ``key@vN``.
+        self.versioning_enabled = False
+        self.versioning_tier: Optional[str] = None
+        self.max_versions = 3
+        self._load_metadata()
+        self.control.start()
+
+    # -- metadata table -----------------------------------------------------
+
+    def _load_metadata(self) -> None:
+        """Rebuild the in-memory table from the persistent store."""
+        for key, blob in self.metadata_store.items():
+            meta = ObjectMeta.from_json(blob)
+            self._meta[meta.key] = meta
+            if meta.checksum and meta.alias_of is None:
+                self._dedup.setdefault(meta.checksum, meta.key)
+
+    def has_object(self, key: str) -> bool:
+        return key in self._meta
+
+    def meta(self, key: str) -> ObjectMeta:
+        try:
+            return self._meta[key]
+        except KeyError:
+            raise NoSuchObjectError(key) from None
+
+    def iter_meta(self) -> Iterator[ObjectMeta]:
+        return iter(list(self._meta.values()))
+
+    def object_count(self) -> int:
+        return len(self._meta)
+
+    def persist_meta(self, meta: ObjectMeta) -> None:
+        self.metadata_store.put(meta.key.encode("utf-8"), meta.to_json())
+
+    def create_object(
+        self, key: str, size: int, tags: Optional[Set[str]] = None
+    ) -> ObjectMeta:
+        """Create (or refresh, on overwrite) the metadata for ``key``."""
+        now = self.clock.now()
+        existing = self._meta.get(key)
+        if existing is not None:
+            existing.modified(now)
+            existing.size = size
+            existing.dirty = False
+            if tags:
+                existing.tags |= tags
+            self.persist_meta(existing)
+            return existing
+        meta = ObjectMeta(
+            key=key,
+            size=size,
+            created_at=now,
+            last_access=now,
+            last_modified=now,
+            tags=set(tags) if tags else set(),
+        )
+        self._meta[key] = meta
+        self.persist_meta(meta)
+        return meta
+
+    def _drop_meta(self, key: str) -> None:
+        self._meta.pop(key, None)
+        self.metadata_store.delete(key.encode("utf-8"))
+
+    # -- de-duplication index (storeOnce) ---------------------------------
+
+    def dedup_lookup(self, checksum: str) -> Optional[str]:
+        canonical = self._dedup.get(checksum)
+        if canonical is not None and canonical not in self._meta:
+            del self._dedup[checksum]
+            return None
+        return canonical
+
+    def dedup_register(self, checksum: str, key: str) -> None:
+        self._dedup[checksum] = key
+        meta = self.meta(key)
+        meta.checksum = checksum
+        self.persist_meta(meta)
+
+    def alias_object(self, key: str, canonical_key: str) -> None:
+        """Record that ``key``'s content is held by ``canonical_key``."""
+        meta = self.meta(key)
+        canonical = self.meta(canonical_key)
+        if meta.alias_of == canonical_key:
+            return
+        meta.alias_of = canonical_key
+        meta.checksum = canonical.checksum
+        canonical.refcount += 1
+        self.persist_meta(meta)
+        self.persist_meta(canonical)
+
+    def resolve_alias(self, key: str) -> str:
+        """Follow alias links to the key that physically holds the bytes."""
+        seen = set()
+        current = key
+        while True:
+            meta = self.meta(current)
+            if meta.alias_of is None:
+                return current
+            if current in seen:
+                raise NoSuchObjectError(key)  # defensive: alias cycle
+            seen.add(current)
+            current = meta.alias_of
+
+    # -- data path primitives (used by responses and the server) -----------
+
+    def write_to_tier(
+        self,
+        key: str,
+        data: bytes,
+        tier_name: str,
+        ctx: RequestContext,
+        evict_to: Optional[str] = None,
+    ) -> None:
+        """Place ``data`` for ``key`` in a tier, evicting LRU residents if
+        the tier cannot fit it.
+
+        Eviction target resolution: an explicit ``evict_to`` wins, else
+        the instance's ``eviction_chain`` entry for this tier.  The
+        special target :data:`DROP` discards victims from this tier
+        without relocating them — valid only for victims that also live
+        in some other tier (a cache over a durable store, Figure 12).
+        """
+        tier = self.tiers.get(tier_name)
+        incoming = len(data) - (
+            tier.service.size_of(key) if tier.contains(key) else 0
+        )
+        if evict_to is None:
+            evict_to = self.eviction_chain.get(tier_name)
+        if evict_to is not None:
+            self._make_room(tier, incoming, evict_to, ctx, protect=key)
+        if not tier.can_fit(incoming):
+            raise NoCapacityError(tier_name, key)
+        tier.put(key, data, ctx)
+        meta = self.meta(key)
+        meta.locations.add(tier_name)
+        meta.size = len(data)
+        self.persist_meta(meta)
+
+    def _make_room(
+        self,
+        tier: Tier,
+        incoming: int,
+        evict_to: str,
+        ctx: RequestContext,
+        protect: str,
+    ) -> None:
+        """Evict least-recently-used residents until ``incoming`` fits."""
+        drop_mode = evict_to == DROP
+        dest = None if drop_mode else self.tiers.get(evict_to)
+        while not tier.can_fit(incoming):
+            victim = tier.oldest
+            if victim is None or victim == protect:
+                break
+            victim_meta = self.meta(victim)
+            if drop_mode:
+                if len(victim_meta.locations) < 2:
+                    # The victim lives nowhere else; dropping would lose
+                    # data.  Refuse and let the caller hit NoCapacity.
+                    break
+                self.remove_from_tier(victim, tier.name, ctx)
+                continue
+            blob = tier.get(victim, ctx)
+            if not dest.contains(victim):
+                # Evicting may overflow the destination too: cascade down
+                # the instance's eviction chain (Table 2's exclusive
+                # Memcached -> EBS -> S3 arrangement).
+                self.write_to_tier(
+                    victim, blob, evict_to, ctx,
+                    evict_to=self.eviction_chain.get(evict_to),
+                )
+            self.remove_from_tier(victim, tier.name, ctx)
+
+    def read_raw(
+        self,
+        key: str,
+        ctx: RequestContext,
+        prefer: Optional[str] = None,
+    ) -> bytes:
+        """Read an object's stored bytes from the best available tier.
+
+        "Best" is the earliest tier in declaration order (the paper's
+        specs declare fastest first) among the object's recorded
+        locations; ``prefer`` overrides.  Aliases (storeOnce) resolve to
+        their canonical content.
+        """
+        physical = self.resolve_alias(key)
+        meta = self.meta(physical)
+        candidates: List[Tier] = []
+        if prefer is not None and prefer in meta.locations:
+            candidates.append(self.tiers.get(prefer))
+        candidates.extend(
+            t for t in self.tiers.ordered()
+            if t.name in meta.locations and (prefer is None or t.name != prefer)
+        )
+        if not candidates:
+            raise NoSuchObjectError(key)
+        last_error: Optional[Exception] = None
+        for tier in candidates:
+            if not tier.available:
+                last_error = ServiceUnavailableError(tier.name)
+                continue
+            try:
+                return tier.get(physical, ctx)
+            except ServiceUnavailableError as exc:
+                last_error = exc
+        raise TierUnavailableError(key, detail=str(last_error))
+
+    def rewrite_everywhere(self, key: str, data: bytes, ctx: RequestContext) -> None:
+        """Replace an object's bytes in every tier currently holding it."""
+        meta = self.meta(key)
+        for tier_name in sorted(meta.locations):
+            self.tiers.get(tier_name).put(key, data, ctx)
+        meta.size = len(data)
+        self.persist_meta(meta)
+
+    def remove_from_tier(self, key: str, tier_name: str, ctx: RequestContext) -> None:
+        tier = self.tiers.get(tier_name)
+        if tier.contains(key):
+            tier.delete(key, ctx)
+        meta = self.meta(key)
+        meta.locations.discard(tier_name)
+        self.persist_meta(meta)
+
+    def _detach_alias(self, meta: ObjectMeta) -> None:
+        """Break an alias link (its canonical loses one reference)."""
+        canonical = self._meta.get(meta.alias_of)
+        if canonical is not None:
+            canonical.refcount = max(0, canonical.refcount - 1)
+            self.persist_meta(canonical)
+        meta.alias_of = None
+        meta.locations = set()
+        self.persist_meta(meta)
+
+    def _handoff_to_heir(self, meta: ObjectMeta, ctx: RequestContext) -> bool:
+        """If ``meta`` is canonical content with aliases, rename the
+        physical bytes to the first alias (the heir) and repoint the
+        rest.  Returns whether a handoff happened."""
+        aliases = [m for m in self._meta.values() if m.alias_of == meta.key]
+        if not aliases:
+            return False
+        heir = aliases[0]
+        for tier_name in sorted(meta.locations):
+            tier = self.tiers.get(tier_name)
+            if tier.contains(meta.key) and tier.available:
+                blob = tier.get(meta.key, ctx)
+                tier.put(heir.key, blob, ctx)
+                tier.delete(meta.key, ctx)
+        heir.alias_of = None
+        heir.locations = set(meta.locations)
+        heir.size = meta.size
+        heir.checksum = meta.checksum
+        heir.refcount = len(aliases) - 1
+        for other in aliases[1:]:
+            other.alias_of = heir.key
+            self.persist_meta(other)
+        if meta.checksum:
+            self._dedup[meta.checksum] = heir.key
+        self.persist_meta(heir)
+        meta.locations = set()
+        meta.refcount = 0  # all aliases now point at the heir
+        return True
+
+    def _drop_dedup_entry(self, meta: ObjectMeta) -> None:
+        if meta.checksum and self._dedup.get(meta.checksum) == meta.key:
+            del self._dedup[meta.checksum]
+
+    def prepare_overwrite(self, key: str, ctx: RequestContext) -> None:
+        """Make overwriting ``key`` safe for the dedup machinery.
+
+        Called by the server before an overwrite PUT: an alias detaches
+        from its canonical (the new content is independent); a canonical
+        with live aliases hands its bytes to an heir first (so the
+        aliases keep reading the old content); and the key's old
+        checksum mapping leaves the dedup index (otherwise a later
+        duplicate of the *old* content would alias to the *new* bytes).
+        """
+        meta = self._meta.get(key)
+        if meta is None:
+            return
+        if meta.alias_of is not None:
+            self._detach_alias(meta)
+            return
+        if self._handoff_to_heir(meta, ctx):
+            return
+        self._drop_dedup_entry(meta)
+
+    def delete_object(self, key: str, ctx: RequestContext) -> None:
+        """Remove an object from every tier and forget its metadata.
+
+        storeOnce interactions: deleting an alias just drops the link
+        (and the canonical's refcount); deleting a canonical object that
+        still has aliases hands the physical bytes over to one of them.
+        """
+        meta = self.meta(key)
+        if meta.alias_of is not None:
+            self._detach_alias(meta)
+            self._drop_meta(key)
+            return
+        if self._handoff_to_heir(meta, ctx):
+            self._drop_meta(key)
+            return
+        for tier_name in sorted(meta.locations):
+            tier = self.tiers.get(tier_name)
+            if tier.contains(key) and tier.available:
+                tier.delete(key, ctx)
+        self._drop_dedup_entry(meta)
+        self._drop_meta(key)
+
+    # -- object versioning (extension: paper §2.2 future work) --------------
+
+    def enable_versioning(
+        self, tier: Optional[str] = None, max_versions: int = 3
+    ) -> None:
+        """Keep up to ``max_versions`` prior versions of every object.
+
+        On overwrite, the current bytes are preserved as ``key@vN``
+        (N = the version being replaced) in ``tier`` (default: the
+        object's slowest current tier).  Old versions are trimmed FIFO.
+        """
+        if max_versions < 1:
+            raise ValueError("max_versions must be at least 1")
+        if tier is not None and not self.tiers.has(tier):
+            raise UnknownTierError(tier)
+        self.versioning_enabled = True
+        self.versioning_tier = tier
+        self.max_versions = max_versions
+
+    def preserve_version(self, key: str, ctx: RequestContext) -> Optional[str]:
+        """Snapshot ``key``'s current bytes before an overwrite.
+
+        Returns the version key created, or ``None`` when there is
+        nothing to preserve.  Called by the server when versioning is
+        enabled.
+        """
+        meta = self._meta.get(key)
+        if meta is None or (not meta.locations and meta.alias_of is None):
+            return None
+        data = self.read_raw(key, ctx)
+        version_key = f"{key}@v{meta.version}"
+        target = self.versioning_tier
+        if target is None:
+            candidates = [t for t in self.tiers.ordered() if t.name in meta.locations]
+            target = candidates[-1].name if candidates else self.tiers.first().name
+        self.create_object(version_key, len(data), tags={"version"})
+        self.write_to_tier(version_key, data, target, ctx)
+        self._trim_versions(key, ctx)
+        return version_key
+
+    def versions_of(self, key: str) -> List[str]:
+        """Preserved version keys for ``key``, oldest first."""
+        prefix = f"{key}@v"
+        keyed = []
+        for meta in self._meta.values():
+            if meta.key.startswith(prefix):
+                try:
+                    number = int(meta.key[len(prefix):])
+                except ValueError:
+                    continue
+                keyed.append((number, meta.key))
+        return [name for _, name in sorted(keyed)]
+
+    def _trim_versions(self, key: str, ctx: RequestContext) -> None:
+        versions = self.versions_of(key)
+        while len(versions) > self.max_versions:
+            self.delete_object(versions.pop(0), ctx)
+
+    # -- runtime reconfiguration (§4.2.3 / Figure 17) ----------------------
+
+    def reconfigure(
+        self,
+        add_tiers: Iterable[Tier] = (),
+        remove_tiers: Iterable[str] = (),
+        add_rules: Iterable[Rule] = (),
+        remove_rules: Iterable[str] = (),
+        replace_policy: Optional[Sequence[Rule]] = None,
+    ) -> None:
+        """Apply a live configuration change, atomically from the policy's
+        point of view (timers re-sync once, after all changes)."""
+        for tier in add_tiers:
+            self.tiers.add(tier)
+        for name in remove_tiers:
+            removed = self.tiers.remove(name)
+            for meta in self._meta.values():
+                meta.locations.discard(removed.name)
+        if replace_policy is not None:
+            self.policy.replace_all(list(replace_policy))
+        else:
+            for name in remove_rules:
+                self.policy.remove(name)
+            for rule in add_rules:
+                self.policy.add(rule)
+
+    # -- accounting --------------------------------------------------------
+
+    def monthly_cost(self) -> float:
+        """Monthly storage cost of the provisioned configuration, dollars."""
+        total = 0.0
+        for tier in self.tiers:
+            if tier.colocated:
+                continue
+            provisioned = tier.capacity if tier.capacity is not None else tier.used
+            total += self.price_book.monthly_storage_cost(tier.kind, provisioned)
+        return total
+
+    def cost_per_gb_month(self) -> float:
+        """Blended $/GB-month across the provisioned capacities."""
+        provisioned = sum(
+            (t.capacity if t.capacity is not None else t.used) for t in self.tiers
+        )
+        if provisioned == 0:
+            return 0.0
+        return self.monthly_cost() / (provisioned / (1024 ** 3))
+
+    def shutdown(self) -> None:
+        self.control.shutdown()
+        self.metadata_store.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<TieraInstance {self.name!r} tiers={self.tiers.names()} "
+            f"objects={len(self._meta)} rules={len(self.policy)}>"
+        )

@@ -1,0 +1,109 @@
+"""Tiera's object model and per-object metadata.
+
+"Tiera tracks the common attributes or metadata for each object: size,
+access frequency, dirty flag, location (i.e. which tiers), and time of
+last access.  In addition, each Tiera object may also be assigned a set
+of tags." (§2.1)
+
+Objects are uninterpreted byte sequences addressed by a globally unique
+key; they cannot be edited in place but may be overwritten (which bumps
+``version``).  ``checksum`` supports the ``storeOnce`` de-duplicating
+response; ``compressed``/``encrypted`` record transformations applied by
+the corresponding responses so GET can reverse them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+def content_checksum(data: bytes) -> str:
+    """Stable content fingerprint used by ``storeOnce`` de-duplication."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class ObjectMeta:
+    """Everything the control layer knows about one stored object."""
+
+    key: str
+    size: int = 0
+    locations: Set[str] = field(default_factory=set)
+    dirty: bool = False
+    tags: Set[str] = field(default_factory=set)
+    created_at: float = 0.0
+    last_access: float = 0.0
+    last_modified: float = 0.0
+    access_count: int = 0
+    version: int = 0
+    checksum: str = ""
+    compressed: bool = False
+    encrypted: bool = False
+    #: set by storeOnce when this key's content is held by another key
+    alias_of: Optional[str] = None
+    #: number of alias keys pointing at this key's content
+    refcount: int = 0
+
+    def touch(self, now: float) -> None:
+        """Record an access (GET) for recency/frequency attributes."""
+        self.last_access = now
+        self.access_count += 1
+
+    def modified(self, now: float) -> None:
+        """Record an overwrite (PUT over an existing key)."""
+        self.last_modified = now
+        self.version += 1
+
+    def access_frequency(self, now: float) -> float:
+        """Accesses per second over the object's lifetime so far."""
+        age = max(now - self.created_at, 1e-9)
+        return self.access_count / age
+
+    def in_tier(self, tier_name: str) -> bool:
+        return tier_name in self.locations
+
+    # -- persistence (metadata survives server restart via the kvstore) --
+
+    def to_json(self) -> bytes:
+        doc = {
+            "key": self.key,
+            "size": self.size,
+            "locations": sorted(self.locations),
+            "dirty": self.dirty,
+            "tags": sorted(self.tags),
+            "created_at": self.created_at,
+            "last_access": self.last_access,
+            "last_modified": self.last_modified,
+            "access_count": self.access_count,
+            "version": self.version,
+            "checksum": self.checksum,
+            "compressed": self.compressed,
+            "encrypted": self.encrypted,
+            "alias_of": self.alias_of,
+            "refcount": self.refcount,
+        }
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, blob: bytes) -> "ObjectMeta":
+        doc: Dict = json.loads(blob.decode("utf-8"))
+        return cls(
+            key=doc["key"],
+            size=doc["size"],
+            locations=set(doc["locations"]),
+            dirty=doc["dirty"],
+            tags=set(doc["tags"]),
+            created_at=doc["created_at"],
+            last_access=doc["last_access"],
+            last_modified=doc["last_modified"],
+            access_count=doc["access_count"],
+            version=doc["version"],
+            checksum=doc["checksum"],
+            compressed=doc["compressed"],
+            encrypted=doc["encrypted"],
+            alias_of=doc.get("alias_of"),
+            refcount=doc.get("refcount", 0),
+        )

@@ -1,0 +1,123 @@
+"""Object selectors: the ``what:`` clause of a response.
+
+A response names the objects it operates on through a selector —
+``insert.object`` (the object that triggered the action event), a
+predicate over metadata (``object.location == tier1 && object.dirty ==
+true``), a tier-recency reference (``tier1.oldest``), explicit names,
+or an object class (tag).  Selectors resolve to a list of object keys
+against the live metadata table at response-execution time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.conditions import Condition, EvalScope
+from repro.core.errors import PolicyError, UnknownTierError
+
+
+class Selector(ABC):
+    """Resolves to the keys a response should act on."""
+
+    @abstractmethod
+    def resolve(self, scope: EvalScope) -> List[str]:
+        """Keys selected in ``scope``, in a deterministic order."""
+
+
+class InsertObject(Selector):
+    """``insert.object`` — the object carried by the triggering action."""
+
+    def resolve(self, scope: EvalScope) -> List[str]:
+        if scope.action is None:
+            raise PolicyError("insert.object used outside an action context")
+        return [scope.action.key]
+
+    def __repr__(self) -> str:
+        return "InsertObject()"
+
+
+@dataclass
+class NamedObjects(Selector):
+    """An explicit list of object keys."""
+
+    keys: Tuple[str, ...]
+
+    def __init__(self, *keys: str):
+        object.__setattr__(self, "keys", tuple(keys))
+
+    def resolve(self, scope: EvalScope) -> List[str]:
+        return [k for k in self.keys if scope.instance.has_object(k)]
+
+
+@dataclass
+class TaggedObjects(Selector):
+    """All objects of a class (sharing a tag) — §2.1's object classes."""
+
+    tag: str
+
+    def resolve(self, scope: EvalScope) -> List[str]:
+        return sorted(
+            meta.key
+            for meta in scope.instance.iter_meta()
+            if self.tag in meta.tags
+        )
+
+
+class AllObjects(Selector):
+    """Every object the instance knows about."""
+
+    def resolve(self, scope: EvalScope) -> List[str]:
+        return sorted(meta.key for meta in scope.instance.iter_meta())
+
+    def __repr__(self) -> str:
+        return "AllObjects()"
+
+
+@dataclass
+class ObjectsWhere(Selector):
+    """All objects whose metadata satisfies a predicate.
+
+    This is the general ``what: object.<attr> ...`` form; the write-back
+    policy of Figure 3 uses ``object.location == tier1 && object.dirty
+    == true``.
+    """
+
+    predicate: Condition
+
+    def resolve(self, scope: EvalScope) -> List[str]:
+        selected = []
+        for meta in scope.instance.iter_meta():
+            obj_scope = EvalScope(
+                instance=scope.instance, action=scope.action, obj=meta
+            )
+            if self.predicate.truthy(obj_scope):
+                selected.append(meta.key)
+        return sorted(selected)
+
+
+@dataclass
+class TierOldest(Selector):
+    """``tierX.oldest`` — the least recently used object in a tier."""
+
+    tier_name: str
+
+    def resolve(self, scope: EvalScope) -> List[str]:
+        if not scope.instance.tiers.has(self.tier_name):
+            raise UnknownTierError(self.tier_name)
+        key = scope.instance.tiers.get(self.tier_name).oldest
+        return [key] if key is not None else []
+
+
+@dataclass
+class TierNewest(Selector):
+    """``tierX.newest`` — the most recently used object in a tier."""
+
+    tier_name: str
+
+    def resolve(self, scope: EvalScope) -> List[str]:
+        if not scope.instance.tiers.has(self.tier_name):
+            raise UnknownTierError(self.tier_name)
+        key = scope.instance.tiers.get(self.tier_name).newest
+        return [key] if key is not None else []

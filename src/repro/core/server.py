@@ -1,0 +1,167 @@
+"""The application interface layer: PUT/GET over a Tiera instance.
+
+"The application interface layer exposes a simple PUT/GET API … the
+client can merely call PUT/GET and let the Tiera server decide in which
+tier the object should be placed/retrieved based on the control layer"
+(§2.2).  The server builds an action per client call, hands it to the
+control layer, and applies a default placement (first-declared tier,
+evicting down the instance's eviction chain) when no rule placed the
+object.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, List, Optional
+
+from repro.core.actions import Action, DELETE, GET, INSERT
+from repro.core.instance import TieraInstance
+from repro.core.objects import ObjectMeta, content_checksum
+from repro.simcloud.resources import RequestContext
+
+
+class TieraServer:
+    """PUT/GET façade over one :class:`TieraInstance`."""
+
+    def __init__(self, instance: TieraInstance):
+        self.instance = instance
+        self.clock = instance.clock
+
+    def _ctx(self, ctx: Optional[RequestContext]) -> RequestContext:
+        return ctx if ctx is not None else RequestContext(self.clock)
+
+    # -- the PUT/GET API (§2.1) ----------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        data: bytes,
+        tags: Iterable[str] = (),
+        ctx: Optional[RequestContext] = None,
+    ) -> RequestContext:
+        """Store (or overwrite) an object; returns the request context,
+        whose ``elapsed`` is the client-observed latency."""
+        ctx = self._ctx(ctx)
+        instance = self.instance
+        if instance.versioning_enabled and instance.has_object(key):
+            instance.preserve_version(key, ctx)
+        if instance.has_object(key):
+            # Overwrite: keep the dedup index and any aliases coherent
+            # before the new bytes land.
+            instance.prepare_overwrite(key, ctx)
+        prior_locations = (
+            set(instance.meta(key).locations) if instance.has_object(key) else set()
+        )
+        meta = instance.create_object(key, len(data), tags=set(tags))
+        meta.checksum = content_checksum(data)
+        action = Action(
+            kind=INSERT,
+            key=key,
+            meta=meta,
+            tier=instance.tiers.first().name if len(instance.tiers) else None,
+            data=data,
+        )
+        instance.control.dispatch_action(action, ctx)
+        if meta.alias_of is None and not action.placed:
+            # No Store/StoreOnce rule claimed placement.  New objects get
+            # the default placement (first-declared tier — the implicit
+            # "insert.into tier1" that Figure 4's write-through reacts
+            # to); overwritten objects are refreshed wherever they
+            # already live, minus tiers a reactive copy just wrote.
+            if prior_locations:
+                for tier_name in sorted(prior_locations - action.stored_in):
+                    instance.write_to_tier(key, data, tier_name, ctx)
+            elif instance.tiers.first().name not in action.stored_in:
+                self._default_store(action, ctx)
+            # The default placement changed tier occupancy after the
+            # dispatch-time check: give threshold rules another look.
+            instance.control.evaluate_thresholds(ctx, action=action)
+        instance.persist_meta(meta)
+        return ctx
+
+    def _default_store(self, action: Action, ctx: RequestContext) -> None:
+        """No rule placed the object: put it in the first-declared tier,
+        making room down the eviction chain if one is configured."""
+        instance = self.instance
+        first = instance.tiers.first().name
+        evict_to = instance.eviction_chain.get(first)
+        instance.write_to_tier(
+            action.key, action.data or b"", first, ctx, evict_to=evict_to
+        )
+
+    def get(
+        self,
+        key: str,
+        ctx: Optional[RequestContext] = None,
+        prefer: Optional[str] = None,
+    ) -> bytes:
+        """Retrieve an object's content.
+
+        Compression applied by a ``compress`` response is transparent —
+        GET inflates.  Encryption is *not* transparent (the application
+        owns the key; install a ``decrypt`` response or call it
+        explicitly), so encrypted objects come back as stored.
+        """
+        ctx = self._ctx(ctx)
+        instance = self.instance
+        meta = instance.meta(key)
+        action = Action(kind=GET, key=key, meta=meta)
+        instance.control.dispatch_action(action, ctx)
+        data = instance.read_raw(key, ctx, prefer=prefer)
+        meta.touch(self.clock.now())
+        physical_meta = instance.meta(instance.resolve_alias(key))
+        if physical_meta.compressed and not physical_meta.encrypted:
+            # Encrypted objects come back as stored: the ciphertext
+            # wraps the compressed bytes, and only a decrypt response
+            # (which holds the key) can peel it off.
+            data = zlib.decompress(data)
+        return data
+
+    def get_with_context(
+        self, key: str, ctx: Optional[RequestContext] = None
+    ) -> "tuple[bytes, RequestContext]":
+        ctx = self._ctx(ctx)
+        return self.get(key, ctx=ctx), ctx
+
+    def delete(
+        self, key: str, ctx: Optional[RequestContext] = None
+    ) -> RequestContext:
+        ctx = self._ctx(ctx)
+        instance = self.instance
+        meta = instance.meta(key)
+        action = Action(kind=DELETE, key=key, meta=meta)
+        instance.control.dispatch_action(action, ctx)
+        if instance.has_object(key):
+            instance.delete_object(key, ctx)
+        return ctx
+
+    # -- metadata operations ---------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        return self.instance.has_object(key)
+
+    def stat(self, key: str) -> ObjectMeta:
+        return self.instance.meta(key)
+
+    def add_tag(self, key: str, tag: str) -> None:
+        """Tags add structure to the namespace and define object classes
+        that policies target (§2.1)."""
+        meta = self.instance.meta(key)
+        meta.tags.add(tag)
+        self.instance.persist_meta(meta)
+
+    def remove_tag(self, key: str, tag: str) -> None:
+        meta = self.instance.meta(key)
+        meta.tags.discard(tag)
+        self.instance.persist_meta(meta)
+
+    def keys_with_tag(self, tag: str) -> List[str]:
+        return sorted(
+            meta.key for meta in self.instance.iter_meta() if tag in meta.tags
+        )
+
+    def keys(self) -> List[str]:
+        return sorted(meta.key for meta in self.instance.iter_meta())
+
+    def __repr__(self) -> str:
+        return f"<TieraServer over {self.instance!r}>"

@@ -1,0 +1,168 @@
+"""Horizontally scaled Tiera (extension: paper §6 future work).
+
+"We also plan to employ horizontal scaling to scale [the] Tiera control
+layer to be able to store very large number of objects … A distributed
+control layer architecture also provides metadata management
+scalability and better fault tolerance."
+
+:class:`ShardedTieraServer` partitions the key space across several
+independent Tiera instances (each with its own tiers, policy, and
+metadata) using a consistent-hash ring, the technique of the Dynamo /
+Cassandra line of systems the paper cites.  Shards can be added and
+removed at runtime; only the keys that change owner move.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import NoSuchObjectError, TieraError
+from repro.core.server import TieraServer
+from repro.simcloud.resources import RequestContext
+
+VNODES = 64  # virtual nodes per shard for even key spread
+
+
+def _ring_position(label: str) -> int:
+    return int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """A classic consistent-hash ring with virtual nodes."""
+
+    def __init__(self, vnodes: int = VNODES):
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []  # sorted (position, shard)
+        self._shards: set = set()
+
+    def add(self, shard: str) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on the ring")
+        self._shards.add(shard)
+        for v in range(self.vnodes):
+            point = (_ring_position(f"{shard}#{v}"), shard)
+            bisect.insort(self._points, point)
+
+    def remove(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise KeyError(f"no shard {shard!r}")
+        self._shards.discard(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    def owner(self, key: str) -> str:
+        if not self._points:
+            raise TieraError("the ring has no shards")
+        position = _ring_position(key)
+        index = bisect.bisect_right(self._points, (position, chr(0x10FFFF)))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def shards(self) -> List[str]:
+        return sorted(self._shards)
+
+
+class ShardedTieraServer:
+    """PUT/GET over a consistent-hash ring of Tiera instances.
+
+    Each shard is an ordinary :class:`~repro.core.server.TieraServer`
+    whose instance runs its own policy; the sharding layer only routes.
+    Adding or removing a shard triggers a minimal migration: exactly the
+    keys whose ring owner changed are moved.
+    """
+
+    def __init__(self, shards: Dict[str, TieraServer], vnodes: int = VNODES):
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.ring = ConsistentHashRing(vnodes=vnodes)
+        self.shards: Dict[str, TieraServer] = {}
+        for name, server in shards.items():
+            self.shards[name] = server
+            self.ring.add(name)
+        self.migrations = 0
+
+    def _shard_for(self, key: str) -> TieraServer:
+        return self.shards[self.ring.owner(key)]
+
+    # -- the PUT/GET API, routed -------------------------------------------
+
+    def put(self, key: str, data: bytes, tags=(), ctx: Optional[RequestContext] = None):
+        return self._shard_for(key).put(key, data, tags=tags, ctx=ctx)
+
+    def get(self, key: str, ctx: Optional[RequestContext] = None) -> bytes:
+        return self._shard_for(key).get(key, ctx=ctx)
+
+    def delete(self, key: str, ctx: Optional[RequestContext] = None):
+        return self._shard_for(key).delete(key, ctx=ctx)
+
+    def contains(self, key: str) -> bool:
+        return self._shard_for(key).contains(key)
+
+    def stat(self, key: str):
+        return self._shard_for(key).stat(key)
+
+    def keys(self) -> List[str]:
+        out: List[str] = []
+        for server in self.shards.values():
+            out.extend(server.keys())
+        return sorted(out)
+
+    def shard_of(self, key: str) -> str:
+        return self.ring.owner(key)
+
+    def object_counts(self) -> Dict[str, int]:
+        return {
+            name: server.instance.object_count()
+            for name, server in self.shards.items()
+        }
+
+    # -- elasticity ---------------------------------------------------------
+
+    def add_shard(self, name: str, server: TieraServer) -> int:
+        """Join a shard and migrate the keys it now owns; returns the
+        number of objects moved."""
+        before = {key: self.ring.owner(key) for key in self.keys()}
+        self.shards[name] = server
+        self.ring.add(name)
+        return self._migrate(before)
+
+    def remove_shard(self, name: str) -> int:
+        """Drain and remove a shard; returns the objects moved off it."""
+        if name not in self.shards:
+            raise KeyError(f"no shard {name!r}")
+        if len(self.shards) == 1:
+            raise TieraError("cannot remove the last shard")
+        departing = self.shards[name]
+        keys = departing.keys()
+        self.ring.remove(name)
+        moved = 0
+        for key in keys:
+            data = departing.get(key)
+            meta = departing.stat(key)
+            target = self.shards[self.ring.owner(key)]
+            target.put(key, data, tags=tuple(meta.tags))
+            departing.delete(key)
+            moved += 1
+        del self.shards[name]
+        self.migrations += moved
+        return moved
+
+    def _migrate(self, previous_owners: Dict[str, str]) -> int:
+        moved = 0
+        for key, old_owner in previous_owners.items():
+            new_owner = self.ring.owner(key)
+            if new_owner == old_owner:
+                continue
+            source = self.shards[old_owner]
+            try:
+                data = source.get(key)
+                meta = source.stat(key)
+            except NoSuchObjectError:
+                continue
+            self.shards[new_owner].put(key, data, tags=tuple(meta.tags))
+            source.delete(key)
+            moved += 1
+        self.migrations += moved
+        return moved

@@ -1,0 +1,66 @@
+"""The ordered, runtime-mutable set of tiers inside an instance.
+
+Declaration order matters: the paper's specifications always list tiers
+fastest-first (Memcached, then EBS, then S3), and the server reads an
+object from the earliest declared tier that holds it.  Tiers can be
+added and removed while running — "Tiera also supports the
+addition/removal of tiers at runtime" (§5) — which the Figure 17
+failure-reconfiguration experiment exercises.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+from repro.core.errors import UnknownTierError
+from repro.tiers.base import Tier
+
+
+class TierSet:
+    """Ordered name → :class:`~repro.tiers.base.Tier` mapping."""
+
+    def __init__(self, tiers: Optional[List[Tier]] = None):
+        self._tiers: "OrderedDict[str, Tier]" = OrderedDict()
+        for tier in tiers or []:
+            self.add(tier)
+
+    def add(self, tier: Tier) -> None:
+        if tier.name in self._tiers:
+            raise ValueError(f"tier {tier.name!r} already present")
+        self._tiers[tier.name] = tier
+
+    def remove(self, name: str) -> Tier:
+        if name not in self._tiers:
+            raise UnknownTierError(name)
+        return self._tiers.pop(name)
+
+    def get(self, name: str) -> Tier:
+        try:
+            return self._tiers[name]
+        except KeyError:
+            raise UnknownTierError(name) from None
+
+    def has(self, name: str) -> bool:
+        return name in self._tiers
+
+    def names(self) -> List[str]:
+        return list(self._tiers.keys())
+
+    def first(self) -> Tier:
+        """The first-declared (fastest) tier."""
+        if not self._tiers:
+            raise UnknownTierError("<empty tier set>")
+        return next(iter(self._tiers.values()))
+
+    def ordered(self) -> List[Tier]:
+        return list(self._tiers.values())
+
+    def __iter__(self) -> Iterator[Tier]:
+        return iter(self._tiers.values())
+
+    def __len__(self) -> int:
+        return len(self._tiers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tiers

@@ -1,0 +1,57 @@
+"""Size parsing for instance specifications ("5G", "200M", "10G")."""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_SUFFIXES = {
+    "K": KB, "KB": KB,
+    "M": MB, "MB": MB,
+    "G": GB, "GB": GB,
+    "T": TB, "TB": TB,
+    "B": 1,
+}
+
+
+def parse_size(text) -> int:
+    """Parse a capacity like ``"5G"`` or ``"200MB"`` into bytes.
+
+    Plain integers pass through unchanged.
+    """
+    if isinstance(text, int):
+        return text
+    if isinstance(text, float):
+        if not text.is_integer():
+            raise ValueError(f"fractional byte count: {text!r}")
+        return int(text)
+    cleaned = str(text).strip().upper()
+    for suffix in ("KB", "MB", "GB", "TB", "K", "M", "G", "T", "B"):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)].strip()
+            try:
+                value = float(number)
+            except ValueError:
+                raise ValueError(f"bad size string: {text!r}") from None
+            if value < 0:
+                raise ValueError(f"negative size: {text!r}")
+            return int(value * _SUFFIXES[suffix])
+    try:
+        return int(cleaned)
+    except ValueError:
+        raise ValueError(f"bad size string: {text!r}") from None
+
+
+def format_size(nbytes: int) -> str:
+    """Human-readable size, binary units."""
+    if nbytes < 0:
+        raise ValueError("negative size")
+    for suffix, factor in (("T", TB), ("G", GB), ("M", MB), ("K", KB)):
+        if nbytes >= factor:
+            value = nbytes / factor
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+    return f"{nbytes}B"

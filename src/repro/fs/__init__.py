@@ -1,0 +1,21 @@
+"""File interface over Tiera: the prototype's FUSE gateway role.
+
+"The FUSE filesystem we developed splits the database files into 4 KB
+objects (OS page size) and stores them in Tiera" (§4.1.1).
+:class:`~repro.fs.filesystem.TieraFileSystem` does the same in-process:
+POSIX-ish open/read/write/fsync semantics over a
+:class:`~repro.core.server.TieraServer`, with dirty-block buffering that
+flushes on fsync/close (so a database's commit discipline is what
+actually drives storage writes), and an optional node page cache
+modelling the EC2 instance's OS buffer cache.
+
+:mod:`repro.fs.dedupfs` is the modified-S3FS stand-in from the
+Figure 12 experiment: the same file API over a ``storeOnce`` instance,
+with de-duplication statistics.
+"""
+
+from repro.fs.cache import PageCache
+from repro.fs.filesystem import TieraFile, TieraFileSystem
+from repro.fs.dedupfs import DedupFileSystem
+
+__all__ = ["DedupFileSystem", "PageCache", "TieraFile", "TieraFileSystem"]

@@ -1,0 +1,72 @@
+"""Node page cache: the EC2 instance's OS buffer cache, modelled.
+
+The paper's baselines lean on this — "requests can be served from the
+local instance's buffer cache" explains why MySQL-on-EBS holds up on
+read-only workloads (Figure 7) — and its TPC-W experiment explicitly
+shrinks instance memory to 1 GB to limit it.  A :class:`PageCache` is a
+byte-budgeted LRU over (path, block) pairs; hits cost only a small CPU
+charge instead of a storage round trip.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+# Reading a cached page costs a memcpy + syscall, not a device trip.
+CACHE_HIT_COST = 3e-6
+
+
+class PageCache:
+    """Byte-budgeted LRU cache of file blocks."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity_bytes
+        self._pages: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    def get(self, path: str, block: int) -> Optional[bytes]:
+        page = self._pages.get((path, block))
+        if page is None:
+            self.misses += 1
+            return None
+        self._pages.move_to_end((path, block))
+        self.hits += 1
+        return page
+
+    def put(self, path: str, block: int, data: bytes) -> None:
+        key = (path, block)
+        old = self._pages.pop(key, None)
+        if old is not None:
+            self._used -= len(old)
+        self._pages[key] = data
+        self._used += len(data)
+        while self._used > self.capacity and self._pages:
+            _, evicted = self._pages.popitem(last=False)
+            self._used -= len(evicted)
+
+    def invalidate(self, path: str, block: Optional[int] = None) -> None:
+        if block is not None:
+            old = self._pages.pop((path, block), None)
+            if old is not None:
+                self._used -= len(old)
+            return
+        for key in [k for k in self._pages if k[0] == path]:
+            self._used -= len(self._pages.pop(key))
+
+    def clear(self) -> None:
+        self._pages.clear()
+        self._used = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

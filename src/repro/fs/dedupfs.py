@@ -1,0 +1,54 @@
+"""The modified-S3FS client of the Figure 12 experiment.
+
+"We modified the popular open source cloud backed file system S3FS to
+use a Tiera instance as the backend … using the storeOnce response in
+its policy" (§4.2.1).  :class:`DedupFileSystem` is that client: the
+standard file API (inherited) over a Tiera instance whose insert policy
+is ``storeOnce``, plus the de-duplication statistics the experiment
+reports (unique vs. aliased blocks, bytes saved).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.server import TieraServer
+from repro.fs.filesystem import TieraFileSystem
+
+
+class DedupFileSystem(TieraFileSystem):
+    """File system whose backing instance de-duplicates block content."""
+
+    def __init__(self, server: TieraServer, block_size: int = 4096):
+        super().__init__(server, block_size=block_size)
+
+    # -- de-duplication statistics -------------------------------------------
+
+    def dedup_stats(self) -> Dict[str, float]:
+        """Counts over the instance's object table.
+
+        ``logical_bytes`` is what applications wrote; ``physical_bytes``
+        is what actually occupies storage; ``savings`` their ratio.
+        """
+        instance = self.server.instance
+        unique = 0
+        aliased = 0
+        logical = 0
+        physical = 0
+        for meta in instance.iter_meta():
+            if "fs-inode" in meta.tags:
+                continue  # gateway metadata, not file content
+            logical += meta.size
+            if meta.alias_of is None:
+                unique += 1
+                physical += meta.size
+            else:
+                aliased += 1
+        savings = 1.0 - (physical / logical) if logical else 0.0
+        return {
+            "unique_objects": unique,
+            "aliased_objects": aliased,
+            "logical_bytes": logical,
+            "physical_bytes": physical,
+            "savings": savings,
+        }

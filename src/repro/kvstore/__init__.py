@@ -1,0 +1,14 @@
+"""Embedded persistent key-value store (the prototype's BerkeleyDB role).
+
+The paper's Tiera server persists all object metadata in BerkeleyDB.
+This package provides the stand-in: :class:`LogStore`, a log-structured
+hash store (append-only data log + in-memory index) with checksummed
+records, crash recovery that tolerates a torn tail, and compaction.
+:class:`MemoryStore` offers the same interface without persistence for
+tests and ephemeral instances.
+"""
+
+from repro.kvstore.store import KVStore, LogStore, MemoryStore
+from repro.kvstore.record import CorruptRecordError
+
+__all__ = ["CorruptRecordError", "KVStore", "LogStore", "MemoryStore"]

@@ -1,0 +1,5 @@
+"""External monitoring application (the Figure 17 failure handler)."""
+
+from repro.monitor.watchdog import StorageMonitor
+
+__all__ = ["StorageMonitor"]

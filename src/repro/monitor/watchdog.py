@@ -1,0 +1,75 @@
+"""The failure-detecting monitor of §4.2.3.
+
+"We also deployed an external monitoring application that detects a
+storage failure and will reconfigure the instance if this occurs.  The
+monitoring application writes data to the Tiera instance on a 2 minute
+schedule.  It assumes a storage service has failed if the attempt to
+write data (after successive retries) fails."
+
+:class:`StorageMonitor` runs on the instance's clock: every
+``probe_interval`` seconds it writes a canary object; on
+``retries`` consecutive failures it invokes the registered repair
+callback (which, in the Figure 17 experiment, swaps the failed EBS tier
+for Ephemeral + S3 with the matching policy rules).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import TieraError
+from repro.core.server import TieraServer
+from repro.simcloud.clock import Timer
+from repro.simcloud.errors import SimCloudError
+from repro.simcloud.resources import RequestContext
+
+PROBE_INTERVAL = 120.0  # "writes data ... on a 2 minute schedule"
+RETRIES = 2
+
+
+class StorageMonitor:
+    """Canary writer + repair trigger for one Tiera instance."""
+
+    def __init__(
+        self,
+        server: TieraServer,
+        on_failure: Callable[[], None],
+        probe_interval: float = PROBE_INTERVAL,
+        retries: int = RETRIES,
+    ):
+        self.server = server
+        self.on_failure = on_failure
+        self.probe_interval = probe_interval
+        self.retries = retries
+        self.probes = 0
+        self.failures_seen = 0
+        self.repaired = False
+        self._timer: Optional[Timer] = None
+
+    def start(self) -> "StorageMonitor":
+        self._timer = self.server.clock.schedule_repeating(
+            self.probe_interval, self.probe
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def probe(self) -> None:
+        """One canary write, with immediate retries on failure."""
+        self.probes += 1
+        key = f"__monitor_canary_{self.probes}"
+        payload = b"canary" * 16
+        for _ in range(self.retries):
+            ctx = RequestContext(self.server.clock)
+            try:
+                self.server.put(key, payload, tags=("monitor",), ctx=ctx)
+                return  # healthy
+            except (TieraError, SimCloudError):
+                continue
+        self.failures_seen += 1
+        if not self.repaired:
+            self.repaired = True
+            self.on_failure()

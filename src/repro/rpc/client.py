@@ -1,0 +1,92 @@
+"""Blocking RPC client for a remote Tiera instance."""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.rpc.protocol import (
+    RpcError,
+    decode_bytes,
+    encode_bytes,
+    read_frame,
+    write_frame,
+)
+
+
+class TieraClient:
+    """Connects to a :class:`~repro.rpc.server.TieraRpcServer`.
+
+    Thread-safe: concurrent calls serialize on the connection, matching
+    how a single benchmark client thread uses the real Thrift client.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TieraClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, method: str, **params) -> Any:
+        request_id = next(self._ids)
+        with self._lock:
+            write_frame(
+                self._sock, {"id": request_id, "method": method, "params": params}
+            )
+            response = read_frame(self._sock)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        if response.get("id") != request_id:
+            raise RpcError("ProtocolError", "response id mismatch")
+        if "error" in response:
+            err = response["error"]
+            raise RpcError(err.get("type", "Error"), err.get("message", ""))
+        return response.get("result")
+
+    # -- the PUT/GET API --------------------------------------------------
+
+    def put(self, key: str, data: bytes, tags: Optional[List[str]] = None) -> float:
+        """Store an object; returns the server-side latency in seconds."""
+        result = self._call(
+            "put", key=key, data=encode_bytes(data), tags=list(tags or [])
+        )
+        return result["latency"]
+
+    def get(self, key: str) -> bytes:
+        return decode_bytes(self._call("get", key=key)["data"])
+
+    def delete(self, key: str) -> float:
+        return self._call("delete", key=key)["latency"]
+
+    def contains(self, key: str) -> bool:
+        return self._call("contains", key=key)
+
+    def stat(self, key: str) -> Dict[str, Any]:
+        return self._call("stat", key=key)
+
+    def add_tag(self, key: str, tag: str) -> None:
+        self._call("add_tag", key=key, tag=tag)
+
+    def keys(self, tag: Optional[str] = None) -> List[str]:
+        if tag is None:
+            return self._call("keys")
+        return self._call("keys", tag=tag)
+
+    def ping(self) -> bool:
+        return self._call("ping") == "pong"
+
+    def tiers(self) -> List[Dict[str, Any]]:
+        return self._call("tiers")

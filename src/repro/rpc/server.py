@@ -1,0 +1,174 @@
+"""Thread-pooled RPC server exposing a TieraServer's API over TCP.
+
+Mirrors the prototype's deployment: "The Tiera server is deployed as a
+Thrift server on an EC2 instance … the size of the thread pool dedicated
+to service client requests [comes from] the configuration file" (§3).
+The pool size is taken from the instance's control layer.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional
+
+from repro.core.errors import TieraError
+from repro.core.server import TieraServer
+from repro.rpc.protocol import decode_bytes, encode_bytes, read_frame, write_frame
+from repro.simcloud.errors import SimCloudError
+
+
+class TieraRpcServer:
+    """Serves PUT/GET/DELETE/stat/tag methods for one Tiera instance."""
+
+    def __init__(
+        self,
+        tiera: TieraServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool_size: Optional[int] = None,
+    ):
+        self.tiera = tiera
+        if pool_size is None:
+            pool_size = tiera.instance.control.request_pool_size
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="tiera-rpc"
+        )
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()
+        self._running = False
+        self._accept_thread: Optional[threading.Thread] = None
+        self._op_lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "TieraRpcServer":
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="tiera-rpc-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "TieraRpcServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- connection handling ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self._pool.submit(self._serve_connection, conn)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while self._running:
+                try:
+                    request = read_frame(conn)
+                except (OSError, ValueError):
+                    return
+                if request is None:
+                    return
+                response = self._handle(request)
+                try:
+                    write_frame(conn, response)
+                except OSError:
+                    return
+
+    def _handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = request.get("id")
+        method_name = request.get("method", "")
+        params = request.get("params") or {}
+        handler = getattr(self, f"_method_{method_name}", None)
+        if handler is None:
+            return _error(request_id, "UnknownMethod", method_name)
+        try:
+            # The instance's data structures are not thread-safe; one
+            # operation at a time, like a single control-layer worker.
+            with self._op_lock:
+                result = handler(params)
+        except (TieraError, SimCloudError) as exc:
+            return _error(request_id, type(exc).__name__, str(exc))
+        except (KeyError, ValueError, TypeError) as exc:
+            return _error(request_id, "BadRequest", str(exc))
+        return {"id": request_id, "result": result}
+
+    # -- methods ------------------------------------------------------------------
+
+    def _method_put(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        ctx = self.tiera.put(
+            params["key"],
+            decode_bytes(params["data"]),
+            tags=params.get("tags", ()),
+        )
+        return {"latency": ctx.elapsed}
+
+    def _method_get(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        data = self.tiera.get(params["key"])
+        return {"data": encode_bytes(data)}
+
+    def _method_delete(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        ctx = self.tiera.delete(params["key"])
+        return {"latency": ctx.elapsed}
+
+    def _method_contains(self, params: Dict[str, Any]) -> bool:
+        return self.tiera.contains(params["key"])
+
+    def _method_stat(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        meta = self.tiera.stat(params["key"])
+        return {
+            "key": meta.key,
+            "size": meta.size,
+            "locations": sorted(meta.locations),
+            "dirty": meta.dirty,
+            "tags": sorted(meta.tags),
+            "access_count": meta.access_count,
+            "version": meta.version,
+        }
+
+    def _method_add_tag(self, params: Dict[str, Any]) -> bool:
+        self.tiera.add_tag(params["key"], params["tag"])
+        return True
+
+    def _method_keys(self, params: Dict[str, Any]) -> list:
+        tag = params.get("tag")
+        if tag is not None:
+            return self.tiera.keys_with_tag(tag)
+        return self.tiera.keys()
+
+    def _method_ping(self, params: Dict[str, Any]) -> str:
+        return "pong"
+
+    def _method_tiers(self, params: Dict[str, Any]) -> list:
+        return [
+            {
+                "name": tier.name,
+                "kind": tier.kind,
+                "capacity": tier.capacity,
+                "used": tier.used,
+                "available": tier.available,
+            }
+            for tier in self.tiera.instance.tiers
+        ]
+
+
+def _error(request_id, error_type: str, message: str) -> Dict[str, Any]:
+    return {"id": request_id, "error": {"type": error_type, "message": message}}

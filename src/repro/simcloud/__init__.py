@@ -1,0 +1,41 @@
+"""Simulated cloud substrate.
+
+The Tiera paper evaluates its prototype on Amazon EC2 against real
+Memcached, EBS, S3, and ephemeral-disk tiers.  This package provides the
+in-process substitutes: a discrete-event clock, virtual-time resource
+queues, latency and bandwidth models, a price book, a cluster model with
+availability zones and failure injection, and one simulated service per
+storage product the paper uses.
+
+Everything is deterministic: latency samples come from seeded RNGs and
+time only moves when a :class:`~repro.simcloud.clock.SimClock` is
+advanced, so every experiment in ``benchmarks/`` reproduces exactly.
+"""
+
+from repro.simcloud.clock import Clock, SimClock, WallClock
+from repro.simcloud.resources import RequestContext, Resource
+from repro.simcloud.latency import (
+    FixedLatency,
+    LatencyModel,
+    LognormalLatency,
+    SizeDependentLatency,
+)
+from repro.simcloud.cluster import AvailabilityZone, Cluster, Node
+from repro.simcloud.pricing import CostMeter, PriceBook
+
+__all__ = [
+    "AvailabilityZone",
+    "Clock",
+    "Cluster",
+    "CostMeter",
+    "FixedLatency",
+    "LatencyModel",
+    "LognormalLatency",
+    "Node",
+    "PriceBook",
+    "RequestContext",
+    "Resource",
+    "SimClock",
+    "SizeDependentLatency",
+    "WallClock",
+]

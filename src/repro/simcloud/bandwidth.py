@@ -1,0 +1,72 @@
+"""Bandwidth caps for background transfers.
+
+Figure 14 of the paper throttles background replication to 40 KB/s by
+passing a bandwidth cap to the ``copy`` response.  A cap is modelled as
+a private virtual-time pacing lane: each transferred chunk may not start
+before the pace line allows, which stretches the transfer out and keeps
+the underlying device resource mostly free for foreground requests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class BandwidthCap:
+    """Paces a byte stream at ``bytes_per_second`` on the virtual timeline."""
+
+    __slots__ = ("bytes_per_second", "_available_at")
+
+    def __init__(self, bytes_per_second: float):
+        if bytes_per_second <= 0:
+            raise ValueError("bandwidth cap must be positive")
+        self.bytes_per_second = bytes_per_second
+        self._available_at = 0.0
+
+    def next_start(self, at: float, nbytes: int) -> float:
+        """Earliest instant ``nbytes`` may begin transferring at/after ``at``.
+
+        Booking is cumulative: asking for N bytes pushes the pace line
+        ``N / rate`` seconds further out.
+        """
+        start = max(at, self._available_at)
+        self._available_at = start + nbytes / self.bytes_per_second
+        return start
+
+    def reset(self) -> None:
+        self._available_at = 0.0
+
+
+def parse_bandwidth(text: str) -> float:
+    """Parse a human bandwidth string like ``"40KB/s"`` into bytes/second.
+
+    Accepts B, KB, MB, GB prefixes (decimal capital letters as the paper
+    writes them; binary multiplier, matching the rest of this repo).
+    """
+    cleaned = text.strip()
+    if cleaned.lower().endswith("/s"):
+        cleaned = cleaned[:-2]
+    cleaned = cleaned.strip()
+    units = {"GB": 1024 ** 3, "MB": 1024 ** 2, "KB": 1024, "B": 1}
+    for suffix in ("GB", "MB", "KB", "B"):
+        if cleaned.upper().endswith(suffix):
+            number = cleaned[: -len(suffix)].strip()
+            try:
+                value = float(number)
+            except ValueError:
+                raise ValueError(f"bad bandwidth value: {text!r}") from None
+            if value <= 0:
+                raise ValueError(f"bandwidth must be positive: {text!r}")
+            return value * units[suffix]
+    raise ValueError(f"bad bandwidth string: {text!r}")
+
+
+def cap_from(value) -> Optional[BandwidthCap]:
+    """Coerce a cap argument (None, number, string, or cap) to a cap."""
+    if value is None:
+        return None
+    if isinstance(value, BandwidthCap):
+        return value
+    if isinstance(value, str):
+        return BandwidthCap(parse_bandwidth(value))
+    return BandwidthCap(float(value))

@@ -1,0 +1,181 @@
+"""Clocks: simulated (discrete-event) and wall-clock time sources.
+
+The paper's experiments run for minutes of real time (Figures 16 and 17
+are 10-14 minute windows).  To reproduce them deterministically and
+quickly, all time-dependent behaviour in this repository is written
+against the :class:`Clock` interface.  Experiments use :class:`SimClock`,
+a discrete-event scheduler whose time advances only when asked; the RPC
+server and interactive examples use :class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional
+
+
+class Timer:
+    """Handle for a scheduled callback; ``cancel()`` prevents it firing."""
+
+    __slots__ = ("when", "callback", "cancelled", "_wall_timer")
+
+    def __init__(self, when: float, callback: Callable[[], None]):
+        self.when = when
+        self.callback = callback
+        self.cancelled = False
+        self._wall_timer: Optional[threading.Timer] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._wall_timer is not None:
+            self._wall_timer.cancel()
+
+
+class Clock(ABC):
+    """A source of time plus a callback scheduler."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds."""
+
+    @abstractmethod
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` after ``delay`` seconds; returns a cancellable handle."""
+
+    def schedule_repeating(
+        self, interval: float, callback: Callable[[], None]
+    ) -> Timer:
+        """Run ``callback`` every ``interval`` seconds until cancelled.
+
+        The returned handle cancels the *whole* repetition.  The first
+        firing happens one full interval from now, matching the paper's
+        timer events ("at the end of a specified time period").
+        """
+        if interval <= 0:
+            raise ValueError("repeating interval must be positive")
+        handle = Timer(self.now() + interval, callback)
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            callback()
+            if not handle.cancelled:
+                inner = self.schedule(interval, fire)
+                handle.when = inner.when
+                handle._wall_timer = inner._wall_timer
+
+        inner = self.schedule(interval, fire)
+        handle._wall_timer = inner._wall_timer
+        return handle
+
+
+class SimClock(Clock):
+    """Deterministic discrete-event clock.
+
+    Time is a float starting at zero and moves only through
+    :meth:`advance`, :meth:`run_until`, or :meth:`run_all`.  Scheduled
+    callbacks fire in timestamp order (FIFO among equal timestamps) as
+    time passes over them.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._queue: List = []
+        self._counter = itertools.count()
+
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        handle = Timer(self._now + delay, callback)
+        heapq.heappush(self._queue, (handle.when, next(self._counter), handle))
+        return handle
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled callbacks waiting to fire."""
+        return sum(1 for _, _, h in self._queue if not h.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending callback, or ``None``."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def run_until(self, deadline: float) -> None:
+        """Fire every callback due at or before ``deadline``, then set time."""
+        if deadline < self._now:
+            raise ValueError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= deadline:
+            when, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = when
+            handle.callback()
+        self._now = deadline
+
+    def advance(self, dt: float) -> None:
+        """Move time forward by ``dt`` seconds, firing due callbacks."""
+        self.run_until(self._now + dt)
+
+    def run_all(self, limit: int = 1_000_000) -> None:
+        """Drain the queue entirely (bounded by ``limit`` firings)."""
+        fired = 0
+        while self._queue:
+            when, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = when
+            handle.callback()
+            fired += 1
+            if fired >= limit:
+                raise RuntimeError(
+                    "SimClock.run_all exceeded %d events; repeating timer?" % limit
+                )
+
+
+class WallClock(Clock):
+    """Real time, for the RPC server and live demos.
+
+    Callbacks run on daemon :class:`threading.Timer` threads.  Call
+    :meth:`shutdown` to cancel everything scheduled through this clock.
+    """
+
+    def __init__(self):
+        self._epoch = time.monotonic()
+        self._timers: List[Timer] = []
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        handle = Timer(self.now() + delay, callback)
+
+        def fire() -> None:
+            if not handle.cancelled:
+                callback()
+
+        wall = threading.Timer(delay, fire)
+        wall.daemon = True
+        handle._wall_timer = wall
+        with self._lock:
+            self._timers.append(handle)
+            self._timers = [t for t in self._timers if not t.cancelled]
+        wall.start()
+        return handle
+
+    def shutdown(self) -> None:
+        with self._lock:
+            timers, self._timers = self._timers, []
+        for handle in timers:
+            handle.cancel()

@@ -1,0 +1,41 @@
+"""Exception types raised by the simulated cloud."""
+
+from __future__ import annotations
+
+
+class SimCloudError(Exception):
+    """Base class for simulated-cloud failures."""
+
+
+class ServiceUnavailableError(SimCloudError):
+    """The service (or the node hosting it) has failed or timed out.
+
+    The paper simulates the 2011 EBS outage by timing out writes; the
+    reproduction raises this after spending the configured timeout on the
+    request's virtual timeline.
+    """
+
+    def __init__(self, service: str, message: str = ""):
+        self.service = service
+        super().__init__(message or f"service {service!r} is unavailable")
+
+
+class CapacityExceededError(SimCloudError):
+    """A put would exceed the service's provisioned capacity."""
+
+    def __init__(self, service: str, needed: int, available: int):
+        self.service = service
+        self.needed = needed
+        self.available = available
+        super().__init__(
+            f"{service!r}: need {needed} bytes, only {available} available"
+        )
+
+
+class NoSuchKeyError(SimCloudError, KeyError):
+    """GET/DELETE of a key the service does not hold."""
+
+    def __init__(self, service: str, key: str):
+        self.service = service
+        self.key = key
+        super().__init__(f"{service!r} has no key {key!r}")

@@ -1,0 +1,15 @@
+"""Simulated storage products (the paper's tier substrates)."""
+
+from repro.simcloud.services.base import StorageService
+from repro.simcloud.services.memcached import SimMemcached
+from repro.simcloud.services.blockstore import SimBlockVolume
+from repro.simcloud.services.objectstore import SimObjectStore
+from repro.simcloud.services.ephemeral import SimEphemeralDisk
+
+__all__ = [
+    "SimBlockVolume",
+    "SimEphemeralDisk",
+    "SimMemcached",
+    "SimObjectStore",
+    "StorageService",
+]

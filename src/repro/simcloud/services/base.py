@@ -1,0 +1,168 @@
+"""Common machinery for simulated storage services.
+
+Every service is a key→bytes store with a latency model, an FCFS
+resource bank (contention), usage accounting, per-operation counters,
+and a failure switch.  Failures follow the paper's Figure 17 scenario:
+a failed service *times out* — the request spends the full timeout on
+its virtual timeline and then raises
+:class:`~repro.simcloud.errors.ServiceUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.simcloud.clock import Clock
+from repro.simcloud.errors import (
+    CapacityExceededError,
+    NoSuchKeyError,
+    ServiceUnavailableError,
+)
+from repro.simcloud.cluster import Node
+from repro.simcloud.latency import LatencyModel
+from repro.simcloud.pricing import CostMeter
+from repro.simcloud.resources import RequestContext, Resource
+
+REQUEST_TIMEOUT = 5.0  # seconds spent before a failed service errors out
+
+
+class StorageService:
+    """Base simulated storage service (key → immutable bytes)."""
+
+    #: pricing/classification kind: memcached | ebs | s3 | ephemeral
+    kind: str = "generic"
+    #: survives node failure?
+    durable: bool = True
+    #: survives service restart / power-off?
+    persistent: bool = True
+
+    def __init__(
+        self,
+        name: str,
+        node: Node,
+        clock: Clock,
+        latency: LatencyModel,
+        capacity: Optional[int] = None,
+        channels: int = 1,
+        rng: Optional[random.Random] = None,
+        meter: Optional[CostMeter] = None,
+        timeout: float = REQUEST_TIMEOUT,
+    ):
+        self.name = name
+        self.node = node
+        self.clock = clock
+        self.latency = latency
+        self.capacity = capacity  # None means unlimited (S3)
+        self.resource = Resource(f"{name}.resource", channels=channels)
+        self.rng = rng if rng is not None else random.Random(0)
+        self.meter = meter
+        self.timeout = timeout
+        self.failed = False
+        self.op_counts: Dict[str, int] = {}
+        self._data: Dict[str, bytes] = {}
+        self._used = 0
+        node.services.append(self)
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        """Bytes currently stored."""
+        return self._used
+
+    @property
+    def free(self) -> Optional[int]:
+        if self.capacity is None:
+            return None
+        return self.capacity - self._used
+
+    def _count(self, op: str) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        if self.meter is not None:
+            self.meter.record(f"{self.kind}.{op}")
+
+    # -- failure injection ------------------------------------------------
+
+    def fail(self) -> None:
+        """Make every subsequent operation time out (Figure 17)."""
+        self.failed = True
+        if not self.durable:
+            self._drop_all()
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def _drop_all(self) -> None:
+        self._data.clear()
+        self._used = 0
+
+    @property
+    def available(self) -> bool:
+        return not self.failed and not self.node.failed
+
+    def _perform(self, op: str, nbytes: int, ctx: RequestContext) -> None:
+        """Charge one operation's time; raise if the service is down."""
+        if not self.available:
+            ctx.wait(self.timeout)
+            raise ServiceUnavailableError(self.name)
+        service_time = self.latency.sample(self.rng, nbytes)
+        ctx.use(self.resource, service_time)
+        self._count(op)
+
+    # -- the storage API ---------------------------------------------------
+
+    def put(self, key: str, data: bytes, ctx: RequestContext) -> None:
+        """Store ``data`` under ``key`` (overwrite allowed)."""
+        old = len(self._data.get(key, b""))
+        growth = len(data) - old
+        if self.capacity is not None and self._used + growth > self.capacity:
+            # Reject before spending device time: provisioned stores fail
+            # fast on ENOSPC, and the Tiera policy layer is responsible
+            # for making room (eviction) before storing.
+            raise CapacityExceededError(
+                self.name, needed=growth, available=self.capacity - self._used
+            )
+        self._perform("put", len(data), ctx)
+        self._data[key] = data
+        self._used += growth
+
+    def get(self, key: str, ctx: RequestContext) -> bytes:
+        if key not in self._data:
+            # A miss still costs a round trip.
+            self._perform("miss", 0, ctx)
+            raise NoSuchKeyError(self.name, key)
+        data = self._data[key]
+        self._perform("get", len(data), ctx)
+        return data
+
+    def delete(self, key: str, ctx: RequestContext) -> None:
+        if key not in self._data:
+            self._perform("miss", 0, ctx)
+            raise NoSuchKeyError(self.name, key)
+        self._perform("delete", 0, ctx)
+        self._used -= len(self._data.pop(key))
+
+    def contains(self, key: str) -> bool:
+        """Metadata-only membership check (no simulated time)."""
+        return key in self._data
+
+    def size_of(self, key: str) -> int:
+        if key not in self._data:
+            raise NoSuchKeyError(self.name, key)
+        return len(self._data[key])
+
+    def keys(self):
+        return self._data.keys()
+
+    def resize(self, new_capacity: int) -> None:
+        """Change provisioned capacity; shrinking below usage is refused."""
+        if new_capacity < self._used:
+            raise CapacityExceededError(
+                self.name, needed=self._used, available=new_capacity
+            )
+        self.capacity = new_capacity
+
+    def __repr__(self) -> str:
+        cap = "∞" if self.capacity is None else str(self.capacity)
+        return f"<{type(self).__name__} {self.name} used={self._used}/{cap}>"

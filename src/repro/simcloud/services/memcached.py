@@ -1,0 +1,68 @@
+"""Simulated Memcached / ElastiCache node.
+
+Fast (sub-millisecond), highly parallel, expensive per GB, and volatile:
+contents are lost on node failure or restart.  Optionally evicts
+least-recently-used entries when full, like real memcached; Tiera
+instances that manage eviction themselves (the paper's Figure 5 LRU/MRU
+policies) run it with ``evict_on_full=False`` so the policy layer stays
+in charge.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.simcloud.errors import CapacityExceededError
+from repro.simcloud.latency import memcached_latency
+from repro.simcloud.resources import RequestContext
+from repro.simcloud.services.base import StorageService
+
+
+class SimMemcached(StorageService):
+    kind = "memcached"
+    durable = False
+    persistent = False
+
+    def __init__(self, *args, evict_on_full: bool = False, **kwargs):
+        kwargs.setdefault("latency", memcached_latency())
+        kwargs.setdefault("channels", 8)
+        super().__init__(*args, **kwargs)
+        self.evict_on_full = evict_on_full
+        self.evictions = 0
+        self._data: "OrderedDict[str, bytes]" = OrderedDict()
+
+    def put(self, key: str, data: bytes, ctx: RequestContext) -> None:
+        if self.evict_on_full and self.capacity is not None:
+            growth = len(data) - len(self._data.get(key, b""))
+            while self._data and self._used + growth > self.capacity:
+                victim, blob = self._data.popitem(last=False)
+                self._used -= len(blob)
+                self.evictions += 1
+            if self._used + growth > self.capacity:
+                raise CapacityExceededError(
+                    self.name, growth, self.capacity - self._used
+                )
+        super().put(key, data, ctx)
+        self._data.move_to_end(key)
+
+    def get(self, key: str, ctx: RequestContext) -> bytes:
+        data = super().get(key, ctx)
+        self._data.move_to_end(key)
+        return data
+
+    def flush_all(self) -> None:
+        """Drop everything (memcached's ``flush_all``)."""
+        self._drop_all()
+
+    def restart(self) -> None:
+        """A restart empties a cache node."""
+        self._drop_all()
+
+    def lru_key(self) -> Optional[str]:
+        """Least-recently-used key, or ``None`` when empty."""
+        return next(iter(self._data), None)
+
+    def mru_key(self) -> Optional[str]:
+        """Most-recently-used key, or ``None`` when empty."""
+        return next(reversed(self._data), None)

@@ -1,0 +1,132 @@
+"""AST nodes produced by the spec parser.
+
+Deliberately close to the surface syntax: conditions and values stay as
+small expression trees; the compiler (not the parser) decides what an
+event expression *means* (action vs timer vs threshold) and which
+response class a call maps to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+# -- value/condition expressions ------------------------------------------------
+
+
+@dataclass
+class PathExpr:
+    """A dotted path: ``insert.object.dirty``, ``tier1.filled``."""
+
+    parts: Tuple[str, ...]
+
+    def dotted(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass
+class LiteralExpr:
+    """A literal with its unit already applied.
+
+    ``unit`` records the surface flavour: ``None`` (plain), ``size``
+    (bytes), ``percent`` (fraction), ``bandwidth`` (bytes/sec),
+    ``string``, ``bool``.
+    """
+
+    value: object
+    unit: Optional[str] = None
+
+
+@dataclass
+class CompareExpr:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass
+class BoolExpr:
+    """``&&`` / ``||`` over two or more operands."""
+
+    op: str  # "and" | "or"
+    parts: Tuple["Expr", ...]
+
+
+Expr = object  # PathExpr | LiteralExpr | CompareExpr | BoolExpr
+
+
+# -- statements inside response blocks ----------------------------------------
+
+
+@dataclass
+class CallStmt:
+    """``store(what: insert.object, to: tier1);``"""
+
+    name: str
+    args: Dict[str, Expr]
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class AssignStmt:
+    """``insert.object.dirty = true;``"""
+
+    target: PathExpr
+    value: Expr
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class IfStmt:
+    """``if (cond) { ... } else { ... }``"""
+
+    condition: Expr
+    then: List["Stmt"] = field(default_factory=list)
+    otherwise: List["Stmt"] = field(default_factory=list)
+    line: int = field(default=0, compare=False)
+
+
+Stmt = object  # CallStmt | AssignStmt | IfStmt
+
+
+# -- declarations ------------------------------------------------------------------
+
+
+@dataclass
+class TierDecl:
+    """``tier1: { name: Memcached, size: 5G };``"""
+
+    tier_name: str
+    product: str
+    size: Optional[int]
+    zone: Optional[str] = None
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class EventDecl:
+    """``[background] event(<expr>) : response { <stmts> }``"""
+
+    expr: Expr
+    body: List[Stmt]
+    background: bool = False
+    line: int = field(default=0, compare=False)
+
+
+@dataclass
+class Param:
+    """A formal parameter: ``time t`` (type then name) or bare ``t``."""
+
+    name: str
+    type_name: Optional[str] = None
+
+
+@dataclass
+class InstanceSpec:
+    """A whole ``Tiera Name(params) { ... }`` declaration."""
+
+    name: str
+    params: List[Param]
+    tiers: List[TierDecl]
+    events: List[EventDecl]

@@ -1,0 +1,380 @@
+"""Compiler: specification AST → a live Tiera instance.
+
+The paper's prototype hand-codes each policy; compilation of
+specification files is listed as future work (§3).  Here we implement
+it.  :func:`compile_source` lowers parsed declarations onto the core
+policy machinery:
+
+* tier declarations provision tiers through the
+  :class:`~repro.tiers.registry.TierRegistry`;
+* ``event(insert.into [== tierX])`` → :class:`ActionEvent`;
+* ``event(time=t)`` → :class:`TimerEvent` (``t`` from the instance's
+  formal parameters, bound at compile time);
+* any other event expression → :class:`ThresholdEvent` (``background``
+  prefix honoured); an ``==`` against a percent literal is lowered to
+  ``>=`` because the paper's ``tier1.filled == 75%`` means "reaches";
+* response-block statements map onto the Table 1 response classes,
+  assignments onto :class:`SetAttr`, ``if`` onto :class:`Conditional`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.conditions import (
+    And,
+    AttrRef,
+    Comparison,
+    Condition,
+    Literal,
+    Or,
+    TierFull,
+)
+from repro.core.errors import PolicyError
+from repro.core.events import ActionEvent, Event, ThresholdEvent, TimerEvent
+from repro.core.instance import TieraInstance
+from repro.core.policy import Policy, Rule
+from repro.core.responses import (
+    Compress,
+    Conditional,
+    Copy,
+    Decrypt,
+    Delete,
+    Encrypt,
+    Grow,
+    Move,
+    Response,
+    Retrieve,
+    SetAttr,
+    Shrink,
+    Store,
+    StoreOnce,
+    Uncompress,
+)
+from repro.core.selectors import (
+    InsertObject,
+    NamedObjects,
+    ObjectsWhere,
+    Selector,
+    TierNewest,
+    TierOldest,
+)
+from repro.spec import ast
+from repro.spec.parser import parse
+from repro.tiers.registry import TierRegistry
+
+_ACTION_HEADS = {
+    ("insert", "into"): "insert",
+    ("delete", "of"): "delete",
+    ("delete", "from"): "delete",
+    ("get", "of"): "get",
+    ("get", "from"): "get",
+}
+
+
+class Compiler:
+    def __init__(
+        self,
+        spec: ast.InstanceSpec,
+        registry: TierRegistry,
+        args: Optional[Dict[str, object]] = None,
+    ):
+        self.spec = spec
+        self.registry = registry
+        self.args = dict(args or {})
+        self.tier_names: Set[str] = {t.tier_name for t in spec.tiers}
+        self.param_names: Set[str] = {p.name for p in spec.params}
+        missing = self.param_names - set(self.args)
+        if missing:
+            raise PolicyError(
+                f"instance {spec.name!r} needs arguments for: {sorted(missing)}"
+            )
+
+    # -- top level -----------------------------------------------------------
+
+    def compile(self) -> TieraInstance:
+        tiers = []
+        for decl in self.spec.tiers:
+            if not self.registry.known(decl.product):
+                raise PolicyError(
+                    f"line {decl.line}: unknown tier product {decl.product!r}"
+                )
+            tiers.append(
+                self.registry.create(
+                    decl.product,
+                    tier_name=decl.tier_name,
+                    size=decl.size,
+                    zone=decl.zone or "us-east-1a",
+                )
+            )
+        rules = [
+            self._compile_event(decl, index)
+            for index, decl in enumerate(self.spec.events, start=1)
+        ]
+        return TieraInstance(
+            name=self.spec.name,
+            tiers=tiers,
+            policy=Policy(rules),
+            clock=self.registry.cluster.clock,
+        )
+
+    # -- events ---------------------------------------------------------------
+
+    def _compile_event(self, decl: ast.EventDecl, index: int) -> Rule:
+        event = self._classify_event(decl)
+        responses = [self._compile_stmt(stmt) for stmt in decl.body]
+        return Rule(
+            event,
+            responses,
+            background=decl.background,
+            name=f"{self.spec.name}-rule-{index}",
+        )
+
+    def _classify_event(self, decl: ast.EventDecl) -> Event:
+        expr = decl.expr
+        if isinstance(expr, ast.PathExpr):
+            kind = _ACTION_HEADS.get(expr.parts)
+            if kind is not None:
+                return ActionEvent(kind)
+        if isinstance(expr, ast.CompareExpr) and isinstance(expr.lhs, ast.PathExpr):
+            lhs_parts = expr.lhs.parts
+            if lhs_parts == ("time",) and expr.op in ("=", "=="):
+                return TimerEvent(self._numeric_value(expr.rhs))
+            kind = _ACTION_HEADS.get(lhs_parts)
+            if kind is not None and expr.op in ("=", "=="):
+                if not isinstance(expr.rhs, ast.PathExpr) or len(expr.rhs.parts) != 1:
+                    raise PolicyError(
+                        f"line {decl.line}: action event must compare to a tier name"
+                    )
+                return ActionEvent(kind, tier=expr.rhs.parts[0])
+        condition = self._compile_condition(expr, threshold=True)
+        return ThresholdEvent(condition, background=decl.background)
+
+    def _numeric_value(self, expr: ast.Expr) -> float:
+        if isinstance(expr, ast.LiteralExpr):
+            return float(expr.value)
+        if isinstance(expr, ast.PathExpr) and len(expr.parts) == 1:
+            name = expr.parts[0]
+            if name in self.args:
+                return float(self.args[name])
+        raise PolicyError(f"expected a number or parameter, got {expr!r}")
+
+    # -- conditions ------------------------------------------------------------
+
+    def _compile_condition(self, expr: ast.Expr, threshold: bool = False) -> Condition:
+        if isinstance(expr, ast.BoolExpr):
+            parts = [self._compile_condition(p, threshold) for p in expr.parts]
+            return And(*parts) if expr.op == "and" else Or(*parts)
+        if isinstance(expr, ast.CompareExpr):
+            op = "==" if expr.op == "=" else expr.op
+            # "tier1.filled == 75%" means *reaches* 75% (edge threshold).
+            if (
+                threshold
+                and op == "=="
+                and isinstance(expr.rhs, ast.LiteralExpr)
+                and expr.rhs.unit == "percent"
+            ):
+                op = ">="
+            return Comparison(
+                op, self._compile_value(expr.lhs), self._compile_value(expr.rhs)
+            )
+        if isinstance(expr, ast.PathExpr):
+            # Bare `tierX.filled` in a boolean position means "is full".
+            if (
+                len(expr.parts) == 2
+                and expr.parts[0] in self.tier_names
+                and expr.parts[1] == "filled"
+            ):
+                return TierFull(expr.parts[0])
+            return self._compile_value(expr)
+        if isinstance(expr, ast.LiteralExpr):
+            return Literal(expr.value)
+        raise PolicyError(f"cannot compile condition {expr!r}")
+
+    def _compile_value(self, expr: ast.Expr) -> Condition:
+        if isinstance(expr, ast.LiteralExpr):
+            return Literal(expr.value)
+        if isinstance(expr, ast.PathExpr):
+            if len(expr.parts) == 1:
+                name = expr.parts[0]
+                if name in self.args:
+                    return Literal(self.args[name])
+                if name in self.tier_names:
+                    return Literal(name)  # tiers compare by name
+            return AttrRef(expr.parts)
+        if isinstance(expr, (ast.CompareExpr, ast.BoolExpr)):
+            return self._compile_condition(expr)
+        raise PolicyError(f"cannot compile value {expr!r}")
+
+    # -- statements ---------------------------------------------------------------
+
+    def _compile_stmt(self, stmt: ast.Stmt) -> Response:
+        if isinstance(stmt, ast.AssignStmt):
+            return self._compile_assign(stmt)
+        if isinstance(stmt, ast.IfStmt):
+            return Conditional(
+                self._compile_condition(stmt.condition),
+                then=[self._compile_stmt(s) for s in stmt.then],
+                otherwise=[self._compile_stmt(s) for s in stmt.otherwise],
+            )
+        if isinstance(stmt, ast.CallStmt):
+            return self._compile_call(stmt)
+        raise PolicyError(f"cannot compile statement {stmt!r}")
+
+    def _compile_assign(self, stmt: ast.AssignStmt) -> SetAttr:
+        if not isinstance(stmt.value, ast.LiteralExpr):
+            raise PolicyError(
+                f"line {stmt.line}: assignments take literal values only"
+            )
+        return SetAttr(tuple(stmt.target.parts), stmt.value.value)
+
+    def _compile_call(self, stmt: ast.CallStmt) -> Response:
+        name = stmt.name
+        builder = getattr(self, f"_call_{name}", None)
+        if builder is None:
+            raise PolicyError(f"line {stmt.line}: unknown response {name!r}")
+        return builder(stmt)
+
+    # -- per-response argument handling ----------------------------------------------
+
+    def _selector(self, stmt: ast.CallStmt, arg: str = "what") -> Selector:
+        expr = stmt.args.get(arg)
+        if expr is None:
+            raise PolicyError(f"line {stmt.line}: {stmt.name} needs '{arg}:'")
+        if isinstance(expr, ast.PathExpr):
+            if expr.parts == ("insert", "object"):
+                return InsertObject()
+            if len(expr.parts) == 2 and expr.parts[0] in self.tier_names:
+                if expr.parts[1] == "oldest":
+                    return TierOldest(expr.parts[0])
+                if expr.parts[1] == "newest":
+                    return TierNewest(expr.parts[0])
+            if len(expr.parts) == 1 and expr.parts[0] not in self.tier_names:
+                return NamedObjects(expr.parts[0])
+        if isinstance(expr, ast.LiteralExpr) and expr.unit == "string":
+            return NamedObjects(str(expr.value))
+        if isinstance(expr, (ast.CompareExpr, ast.BoolExpr)):
+            return ObjectsWhere(self._compile_condition(expr))
+        raise PolicyError(
+            f"line {stmt.line}: cannot interpret 'what:' selector for {stmt.name}"
+        )
+
+    def _tier_arg(self, stmt: ast.CallStmt, arg: str, required: bool = True):
+        expr = stmt.args.get(arg)
+        if expr is None:
+            if required:
+                raise PolicyError(f"line {stmt.line}: {stmt.name} needs '{arg}:'")
+            return None
+        if isinstance(expr, ast.PathExpr) and len(expr.parts) == 1:
+            tier = expr.parts[0]
+            if tier not in self.tier_names:
+                raise PolicyError(f"line {stmt.line}: unknown tier {tier!r}")
+            return tier
+        raise PolicyError(f"line {stmt.line}: '{arg}:' must name a tier")
+
+    def _literal_arg(self, stmt: ast.CallStmt, arg: str, unit: Optional[str] = None):
+        expr = stmt.args.get(arg)
+        if expr is None:
+            return None
+        if isinstance(expr, ast.LiteralExpr):
+            if unit is not None and expr.unit != unit:
+                raise PolicyError(
+                    f"line {stmt.line}: '{arg}:' must be a {unit} literal"
+                )
+            return expr.value
+        if isinstance(expr, ast.PathExpr) and len(expr.parts) == 1:
+            name = expr.parts[0]
+            if name in self.args:
+                return self.args[name]
+        raise PolicyError(f"line {stmt.line}: '{arg}:' must be a literal")
+
+    def _call_store(self, stmt: ast.CallStmt) -> Store:
+        return Store(
+            self._selector(stmt),
+            self._tier_arg(stmt, "to"),
+            evict_to=self._tier_arg(stmt, "evict_to", required=False),
+        )
+
+    def _call_storeOnce(self, stmt: ast.CallStmt) -> StoreOnce:
+        return StoreOnce(
+            self._selector(stmt),
+            self._tier_arg(stmt, "to"),
+            evict_to=self._tier_arg(stmt, "evict_to", required=False),
+        )
+
+    def _call_retrieve(self, stmt: ast.CallStmt) -> Retrieve:
+        return Retrieve(
+            self._selector(stmt),
+            promote_to=self._tier_arg(stmt, "promote_to", required=False),
+        )
+
+    def _call_copy(self, stmt: ast.CallStmt) -> Copy:
+        return Copy(
+            self._selector(stmt),
+            self._tier_arg(stmt, "to"),
+            bandwidth=self._literal_arg(stmt, "bandwidth"),
+        )
+
+    def _call_move(self, stmt: ast.CallStmt) -> Move:
+        return Move(
+            self._selector(stmt),
+            self._tier_arg(stmt, "to"),
+            bandwidth=self._literal_arg(stmt, "bandwidth"),
+        )
+
+    def _call_delete(self, stmt: ast.CallStmt) -> Delete:
+        source = self._tier_arg(stmt, "from_tier", required=False)
+        return Delete(self._selector(stmt), tiers=(source,) if source else None)
+
+    def _call_encrypt(self, stmt: ast.CallStmt) -> Encrypt:
+        key = self._literal_arg(stmt, "key", unit="string")
+        if key is None:
+            raise PolicyError(f"line {stmt.line}: encrypt needs 'key:'")
+        return Encrypt(self._selector(stmt), str(key))
+
+    def _call_decrypt(self, stmt: ast.CallStmt) -> Decrypt:
+        key = self._literal_arg(stmt, "key", unit="string")
+        if key is None:
+            raise PolicyError(f"line {stmt.line}: decrypt needs 'key:'")
+        return Decrypt(self._selector(stmt), str(key))
+
+    def _call_compress(self, stmt: ast.CallStmt) -> Compress:
+        return Compress(self._selector(stmt))
+
+    def _call_uncompress(self, stmt: ast.CallStmt) -> Uncompress:
+        return Uncompress(self._selector(stmt))
+
+    def _call_grow(self, stmt: ast.CallStmt) -> Grow:
+        percent = self._literal_arg(stmt, "increment", unit="percent")
+        if percent is None:
+            raise PolicyError(f"line {stmt.line}: grow needs 'increment:'")
+        return Grow(self._tier_arg(stmt, "what"), float(percent) * 100.0)
+
+    def _call_snapshot(self, stmt: ast.CallStmt) -> "Response":
+        from repro.core.responses import Snapshot
+
+        label = self._literal_arg(stmt, "label", unit="string")
+        if label is None:
+            raise PolicyError(f"line {stmt.line}: snapshot needs 'label:'")
+        return Snapshot(
+            self._selector(stmt), to=self._tier_arg(stmt, "to"), label=str(label)
+        )
+
+    def _call_shrink(self, stmt: ast.CallStmt) -> Shrink:
+        percent = self._literal_arg(stmt, "decrement", unit="percent")
+        if percent is None:
+            raise PolicyError(f"line {stmt.line}: shrink needs 'decrement:'")
+        return Shrink(self._tier_arg(stmt, "what"), float(percent) * 100.0)
+
+
+def compile_source(
+    source: str,
+    registry: TierRegistry,
+    args: Optional[Dict[str, object]] = None,
+) -> TieraInstance:
+    """Parse and compile a specification string into a live instance."""
+    return Compiler(parse(source), registry, args).compile()
+
+
+# Back-compat alias used throughout the docs.
+compile_spec = compile_source

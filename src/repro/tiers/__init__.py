@@ -1,0 +1,14 @@
+"""Storage interface layer: uniform ``Tier`` wrappers over cloud services.
+
+A Tiera instance is configured with named tiers ("Memcached, size 5G").
+Each :class:`~repro.tiers.base.Tier` adapts one simulated service to the
+uniform interface the control layer speaks — put/get/delete plus
+capacity, fill fraction, recency queries, and grow/shrink — and charges
+any cross-availability-zone network penalty between the Tiera server's
+node and the service's node.
+"""
+
+from repro.tiers.base import Tier
+from repro.tiers.registry import TierFactory, TierRegistry, default_registry
+
+__all__ = ["Tier", "TierFactory", "TierRegistry", "default_registry"]

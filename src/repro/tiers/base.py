@@ -1,0 +1,188 @@
+"""The Tier: what the Tiera control layer sees of a storage service.
+
+"A tier can be any source or sink for data with a prescribed interface"
+(§2.2).  The prescribed interface is this class: keyed byte storage with
+capacity accounting, fill-fraction and recency attributes for threshold
+events and eviction selectors, grow/shrink with realistic provisioning
+delay, and per-tier access-order tracking used by the paper's
+``tier.oldest`` / ``tier.newest`` selectors (Figure 5).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.simcloud.cluster import CROSS_ZONE_LATENCY, Node, PROVISIONING_DELAY
+from repro.simcloud.errors import CapacityExceededError
+from repro.simcloud.resources import RequestContext
+from repro.simcloud.services.base import StorageService
+
+
+class Tier:
+    """A named storage tier inside a Tiera instance."""
+
+    def __init__(
+        self,
+        name: str,
+        service: StorageService,
+        server_node: Optional[Node] = None,
+        colocated: bool = False,
+    ):
+        self.name = name
+        self.service = service
+        self.server_node = server_node
+        #: runs in the application instance's spare RAM/disk, so it adds
+        #: no marginal monthly cost (the paper's co-located deployments)
+        self.colocated = colocated
+        # Access order across *tier* operations (LRU front, MRU back).
+        # Kept here rather than in the service because `tier1.oldest`
+        # must reflect Tiera-level accesses, including ones the backing
+        # service cannot see (e.g. metadata-driven placement).
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+        self.growing = False
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        return self.service.kind
+
+    @property
+    def durable(self) -> bool:
+        return self.service.durable
+
+    @property
+    def available(self) -> bool:
+        return self.service.available
+
+    # -- capacity attributes (threshold-event operands) ----------------------
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self.service.capacity
+
+    @property
+    def used(self) -> int:
+        return self.service.used
+
+    @property
+    def filled(self) -> float:
+        """Fill fraction in [0, 1]; an unlimited tier is never filled."""
+        if self.capacity in (None, 0):
+            return 0.0
+        return self.used / self.capacity
+
+    def can_fit(self, nbytes: int) -> bool:
+        if self.capacity is None:
+            return True
+        return self.used + nbytes <= self.capacity
+
+    # -- recency attributes (selector operands) ------------------------------
+
+    @property
+    def oldest(self) -> Optional[str]:
+        """Least recently accessed key in this tier (``tier.oldest``)."""
+        return next(iter(self._order), None)
+
+    @property
+    def newest(self) -> Optional[str]:
+        """Most recently accessed key in this tier (``tier.newest``)."""
+        return next(reversed(self._order), None)
+
+    # -- data path ------------------------------------------------------------
+
+    def _network(self, ctx: RequestContext) -> None:
+        if (
+            self.server_node is not None
+            and self.server_node.zone is not self.service.node.zone
+        ):
+            ctx.wait(CROSS_ZONE_LATENCY)
+
+    def put(self, key: str, data: bytes, ctx: RequestContext) -> None:
+        if not self.can_fit(len(data) - self._existing_size(key)):
+            raise CapacityExceededError(
+                self.name,
+                needed=len(data),
+                available=(self.capacity or 0) - self.used,
+            )
+        self._network(ctx)
+        self.service.put(key, data, ctx)
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def get(self, key: str, ctx: RequestContext) -> bytes:
+        self._network(ctx)
+        data = self.service.get(key, ctx)
+        if key in self._order:
+            self._order.move_to_end(key)
+        return data
+
+    def delete(self, key: str, ctx: RequestContext) -> None:
+        self._network(ctx)
+        self.service.delete(key, ctx)
+        self._order.pop(key, None)
+
+    def contains(self, key: str) -> bool:
+        return self.service.contains(key)
+
+    def keys(self):
+        return self.service.keys()
+
+    def touch(self, key: str) -> None:
+        """Refresh recency without a data operation (metadata hit)."""
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def _existing_size(self, key: str) -> int:
+        if self.service.contains(key):
+            return self.service.size_of(key)
+        return 0
+
+    # -- elasticity -------------------------------------------------------------
+
+    def grow(
+        self,
+        percent: float,
+        provisioning_delay: Optional[float] = None,
+    ) -> None:
+        """Expand capacity by ``percent`` %.
+
+        Memory tiers grow by provisioning a new node, which takes about a
+        minute (Figure 16); the added capacity only becomes usable when
+        provisioning completes.  Other tiers resize immediately.
+        """
+        if self.capacity is None:
+            raise ValueError(f"tier {self.name!r} has unlimited capacity")
+        if percent <= 0:
+            raise ValueError("grow percent must be positive")
+        if self.growing:
+            return  # a grow is already in flight
+        new_capacity = int(self.capacity * (1 + percent / 100.0))
+        if provisioning_delay is None:
+            provisioning_delay = (
+                PROVISIONING_DELAY if self.kind == "memcached" else 0.0
+            )
+        if provisioning_delay <= 0:
+            self.service.resize(new_capacity)
+            return
+        self.growing = True
+
+        def complete() -> None:
+            self.service.resize(new_capacity)
+            self.growing = False
+
+        self.service.clock.schedule(provisioning_delay, complete)
+
+    def shrink(self, percent: float) -> None:
+        """Reduce capacity by ``percent`` % (refused below current usage)."""
+        if self.capacity is None:
+            raise ValueError(f"tier {self.name!r} has unlimited capacity")
+        if not 0 < percent <= 100:
+            raise ValueError("shrink percent must be in (0, 100]")
+        new_capacity = int(self.capacity * (1 - percent / 100.0))
+        self.service.resize(new_capacity)
+
+    def __repr__(self) -> str:
+        cap = "∞" if self.capacity is None else str(self.capacity)
+        return f"<Tier {self.name} kind={self.kind} used={self.used}/{cap}>"

@@ -1,0 +1,112 @@
+"""Named tier factories.
+
+Instance specifications name tiers by product — ``tier1: { name:
+Memcached, size: 5G }`` — and "it is assumed that the specific tier
+names are known to Tiera" (§2.3).  This registry is where those names
+are known: it maps a product name to a factory that provisions the
+simulated service on a cluster node and wraps it in a
+:class:`~repro.tiers.base.Tier`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.simcloud.cluster import Cluster, Node
+from repro.simcloud.pricing import CostMeter
+from repro.simcloud.services import (
+    SimBlockVolume,
+    SimEphemeralDisk,
+    SimMemcached,
+    SimObjectStore,
+)
+from repro.tiers.base import Tier
+
+TierFactory = Callable[..., Tier]
+
+_SERVICE_CLASSES = {
+    "memcached": SimMemcached,
+    "ebs": SimBlockVolume,
+    "s3": SimObjectStore,
+    "ephemeralstorage": SimEphemeralDisk,
+    "ephemeral": SimEphemeralDisk,
+}
+
+
+class TierRegistry:
+    """Maps spec-file tier names to provisioning factories."""
+
+    def __init__(self, cluster: Cluster, meter: Optional[CostMeter] = None):
+        self.cluster = cluster
+        self.meter = meter if meter is not None else CostMeter()
+        self._factories: Dict[str, TierFactory] = {}
+        self._counter = 0
+        for product in ("Memcached", "EBS", "S3", "EphemeralStorage"):
+            self.register(product, self._builtin_factory(product))
+
+    def register(self, product: str, factory: TierFactory) -> None:
+        self._factories[product.lower()] = factory
+
+    def known(self, product: str) -> bool:
+        return product.lower() in self._factories
+
+    def create(
+        self,
+        product: str,
+        tier_name: str,
+        size: Optional[int],
+        zone: str = "us-east-1a",
+        server_node: Optional[Node] = None,
+        **kwargs,
+    ) -> Tier:
+        """Provision a tier of the given product in ``zone``."""
+        factory = self._factories.get(product.lower())
+        if factory is None:
+            raise KeyError(f"unknown tier product {product!r}")
+        return factory(
+            tier_name=tier_name,
+            size=size,
+            zone=zone,
+            server_node=server_node,
+            **kwargs,
+        )
+
+    def _builtin_factory(self, product: str) -> TierFactory:
+        service_cls = _SERVICE_CLASSES[product.lower()]
+
+        def build(
+            tier_name: str,
+            size: Optional[int],
+            zone: str = "us-east-1a",
+            server_node: Optional[Node] = None,
+            colocated: bool = False,
+            **kwargs,
+        ) -> Tier:
+            self._counter += 1
+            node_name = f"{product.lower()}-node-{self._counter}"
+            node = self.cluster.add_node(node_name, zone=zone)
+            if service_cls is SimObjectStore:
+                size = None  # S3 is not provisioned by size
+            service = service_cls(
+                name=f"{product.lower()}-{self._counter}",
+                node=node,
+                clock=self.cluster.clock,
+                capacity=size,
+                rng=self.cluster.rng,
+                meter=self.meter,
+                **kwargs,
+            )
+            return Tier(
+                tier_name, service, server_node=server_node, colocated=colocated
+            )
+
+        return build
+
+
+def default_registry(
+    cluster: Optional[Cluster] = None, meter: Optional[CostMeter] = None
+) -> TierRegistry:
+    """Registry over a fresh single-zone cluster (convenience for tests)."""
+    if cluster is None:
+        cluster = Cluster()
+    return TierRegistry(cluster, meter=meter)

@@ -1,0 +1,29 @@
+"""Workload generators: the paper's benchmark-tool stand-ins.
+
+§4 generates client load with sysbench (OLTP), TPC-W (emulated
+browsers), YCSB (key-value mixes), and fio (file reads).  Each has an
+equivalent here, built on the shared key-popularity distributions in
+:mod:`repro.workloads.distributions`.
+"""
+
+from repro.workloads.distributions import (
+    SpecialDistribution,
+    UniformKeys,
+    ZipfianKeys,
+)
+from repro.workloads.ycsb import YcsbWorkload
+from repro.workloads.sysbench import SysbenchOltp
+from repro.workloads.fio import FioReader
+from repro.workloads.replay import TraceRecorder, TraceReplayer, load_trace
+
+__all__ = [
+    "FioReader",
+    "SpecialDistribution",
+    "SysbenchOltp",
+    "TraceRecorder",
+    "TraceReplayer",
+    "UniformKeys",
+    "YcsbWorkload",
+    "ZipfianKeys",
+    "load_trace",
+]

@@ -1,0 +1,143 @@
+"""Key-popularity distributions.
+
+* :class:`UniformKeys` — every key equally likely (YCSB "uniform").
+* :class:`ZipfianKeys` — YCSB's zipfian generator (default θ=0.99; the
+  Figure 12 experiment uses θ=1.2), implemented with the standard
+  Gray et al. rejection-free formula YCSB uses, plus optional FNV
+  scrambling so popular keys scatter across the keyspace.
+* :class:`SpecialDistribution` — sysbench's "special" distribution: a
+  configurable percentage of the rows receives 80 % of the accesses
+  (the x-axis of Figures 7 and 8).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class UniformKeys:
+    """Uniform over ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, seed: int = 0):
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self.rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self.rng.randrange(self.item_count)
+
+
+def _fnv1a_64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value``."""
+    data = value.to_bytes(8, "little", signed=False)
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class ZipfianKeys:
+    """YCSB-style zipfian generator.
+
+    Rank 0 is the most popular item.  With ``scramble=True`` (YCSB's
+    ``ScrambledZipfianGenerator``) popularity is spread over the
+    keyspace by hashing the rank.
+    """
+
+    def __init__(
+        self,
+        item_count: int,
+        theta: float = 0.99,
+        seed: int = 0,
+        scramble: bool = False,
+    ):
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        if not 0 < theta:
+            raise ValueError("theta must be positive")
+        if theta == 1.0:
+            theta = 0.9999999  # the formula divides by (1 - theta)
+        self.item_count = item_count
+        self.theta = theta
+        self.scramble = scramble
+        self.rng = random.Random(seed)
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        if item_count <= 2:
+            # The Gray et al. approximation divides by (1 - ζ(2)/ζ(n)),
+            # which is zero at n=2: sample the exact distribution instead.
+            total = self._zetan
+            self._cdf = []
+            acc = 0.0
+            for i in range(1, item_count + 1):
+                acc += (1.0 / i ** theta) / total
+                self._cdf.append(acc)
+            self._eta = None
+        else:
+            self._cdf = None
+            self._eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
+                1 - self._zeta2 / self._zetan
+            )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next_rank(self) -> int:
+        """A popularity rank in [0, item_count), 0 the hottest."""
+        u = self.rng.random()
+        if self._cdf is not None:  # exact sampling for n <= 2
+            for rank, threshold in enumerate(self._cdf):
+                if u <= threshold:
+                    return rank
+            return self.item_count - 1
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(
+            self.item_count * (self._eta * u - self._eta + 1) ** self._alpha
+        )
+
+    def next(self) -> int:
+        rank = min(self.next_rank(), self.item_count - 1)
+        if self.scramble:
+            return _fnv1a_64(rank) % self.item_count
+        return rank
+
+
+class SpecialDistribution:
+    """sysbench ``--oltp-dist-type=special``.
+
+    ``hot_fraction`` of the rows (a contiguous prefix) receives
+    ``hot_probability`` (80 %) of the accesses; the rest are uniform
+    over the remaining rows.  The paper sweeps ``hot_fraction`` from
+    1 % to 30 %.
+    """
+
+    def __init__(
+        self,
+        item_count: int,
+        hot_fraction: float,
+        hot_probability: float = 0.80,
+        seed: int = 0,
+    ):
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        if not 0 < hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0 <= hot_probability <= 1:
+            raise ValueError("hot_probability must be in [0, 1]")
+        self.item_count = item_count
+        self.hot_count = max(1, int(round(item_count * hot_fraction)))
+        self.hot_probability = hot_probability
+        self.rng = random.Random(seed)
+
+    def next(self) -> int:
+        if self.rng.random() < self.hot_probability or self.hot_count >= self.item_count:
+            return self.rng.randrange(self.hot_count)
+        return self.rng.randrange(self.hot_count, self.item_count)

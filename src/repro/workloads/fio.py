@@ -1,0 +1,42 @@
+"""fio stand-in: block-granular file reads with zipfian offsets.
+
+Figure 12 "use[s] fio to generate read requests following a Zipfian
+distribution (with default θ = 1.2) on data stored in the Tiera
+instance" through the modified S3FS client.  :class:`FioReader` issues
+4 KB reads at zipfian-chosen block offsets of one file.
+"""
+
+from __future__ import annotations
+
+from repro.fs.filesystem import TieraFileSystem
+from repro.simcloud.resources import RequestContext
+from repro.workloads.distributions import ZipfianKeys
+
+
+class FioReader:
+    """Closed-loop random reader over one file."""
+
+    def __init__(
+        self,
+        fs: TieraFileSystem,
+        path: str,
+        io_size: int = 4096,
+        theta: float = 1.2,
+        seed: int = 11,
+    ):
+        self.fs = fs
+        self.path = path
+        self.io_size = io_size
+        size = fs.size_of(path)
+        blocks = max(1, size // io_size)
+        self.offsets = ZipfianKeys(blocks, theta=theta, seed=seed, scramble=True)
+        self.reads = 0
+
+    def __call__(self, client: int, ctx: RequestContext) -> str:
+        block = self.offsets.next()
+        handle = self.fs.open(self.path, "r")
+        handle.seek(block * self.io_size)
+        handle.read(self.io_size, ctx=ctx)
+        handle.close()
+        self.reads += 1
+        return "read"

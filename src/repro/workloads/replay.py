@@ -1,0 +1,150 @@
+"""Operation-trace recording and replay.
+
+A :class:`TraceRecorder` wraps any closed-loop op source and writes one
+JSON line per operation (kind, key, payload size, issue time); a
+:class:`TraceReplayer` feeds a recorded trace back through a Tiera
+server — at the recorded inter-arrival spacing or closed-loop.
+
+This is the tool the paper's future-work §6 gestures at ("generating
+appropriate instance configuration ... using abstract application
+requirements and workload characteristics"): record a production-shaped
+trace once, then replay it against candidate instance specifications
+and compare latency/cost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.core.errors import NoSuchObjectError
+from repro.core.server import TieraServer
+from repro.simcloud.resources import RequestContext
+from repro.workloads.ycsb import record_payload
+
+
+class TraceRecorder:
+    """Wraps an op function, logging each operation it performs.
+
+    The wrapped workload must be one of this repo's key-value op
+    sources (it calls ``server.put``/``server.get``); recording hooks
+    the server, so any workload composition is captured faithfully.
+    """
+
+    def __init__(self, server: TieraServer):
+        self.server = server
+        self.events: List[dict] = []
+        self._orig_put = server.put
+        self._orig_get = server.get
+        self._orig_delete = server.delete
+
+    def __enter__(self) -> "TraceRecorder":
+        server = self.server
+
+        def put(key, data, tags=(), ctx=None):
+            result = self._orig_put(key, data, tags=tags, ctx=ctx)
+            self.events.append(
+                {"op": "put", "key": key, "size": len(data),
+                 "at": result.start}
+            )
+            return result
+
+        def get(key, ctx=None, prefer=None):
+            data = self._orig_get(key, ctx=ctx, prefer=prefer)
+            at = ctx.start if ctx is not None else server.clock.now()
+            self.events.append({"op": "get", "key": key, "at": at})
+            return data
+
+        def delete(key, ctx=None):
+            result = self._orig_delete(key, ctx=ctx)
+            self.events.append(
+                {"op": "delete", "key": key, "at": result.start}
+            )
+            return result
+
+        server.put = put
+        server.get = get
+        server.delete = delete
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # The hooks were installed as instance attributes shadowing the
+        # class methods; removing them restores the originals exactly.
+        for name in ("put", "get", "delete"):
+            try:
+                delattr(self.server, name)
+            except AttributeError:
+                pass
+
+    def dump(self, path: str) -> int:
+        """Write the trace as JSON lines; returns events written."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return len(self.events)
+
+
+def load_trace(path: str) -> List[dict]:
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class TraceReplayer:
+    """Replays a recorded trace against a (different) Tiera server.
+
+    ``paced=True`` honours the recorded inter-arrival times (open-loop:
+    each op is issued at its recorded offset); ``paced=False`` issues
+    ops back-to-back (closed-loop, one at a time).  Returns per-op
+    latencies so candidate instances can be compared.
+    """
+
+    def __init__(self, server: TieraServer, events: List[dict]):
+        self.server = server
+        self.events = events
+
+    def run(self, paced: bool = True) -> List[float]:
+        if not self.events:
+            return []
+        clock = self.server.clock
+        base = clock.now()
+        first_at = self.events[0].get("at", 0.0)
+        latencies: List[float] = []
+        cursor = base
+        for event in self.events:
+            if paced:
+                issue_at = base + max(0.0, event.get("at", 0.0) - first_at)
+            else:
+                issue_at = cursor
+            if issue_at > clock.now():
+                clock.run_until(issue_at)
+            ctx = RequestContext(clock, at=issue_at)
+            self._apply(event, ctx)
+            latencies.append(ctx.elapsed)
+            cursor = ctx.time
+        if clock.now() < cursor:
+            clock.run_until(cursor)
+        return latencies
+
+    def _apply(self, event: dict, ctx: RequestContext) -> None:
+        op = event["op"]
+        key = event["key"]
+        if op == "put":
+            payload = record_payload(hash(key) & 0xFFFF, 0, event.get("size", 4096))
+            self.server.put(key, payload, ctx=ctx)
+        elif op == "get":
+            try:
+                self.server.get(key, ctx=ctx)
+            except NoSuchObjectError:
+                pass  # trace replayed against a store missing the key
+        elif op == "delete":
+            try:
+                self.server.delete(key, ctx=ctx)
+            except NoSuchObjectError:
+                pass
+        else:
+            raise ValueError(f"unknown trace op {op!r}")

@@ -1,0 +1,160 @@
+"""sysbench OLTP stand-in (drives Figures 7, 8, 9).
+
+One sysbench OLTP transaction against table ``sbtest1`` is, per the
+tool's defaults: 10 point selects, 4 range queries (~100 rows each,
+modelled as index range scans), and — in read-write mode — 2 index
+updates plus a delete/insert pair, all wrapped in BEGIN/COMMIT.  Row
+choice follows the *special* distribution (x % of rows get 80 % of
+accesses), the paper's swept parameter.
+
+Per-query overhead: the paper runs sysbench on a t1.micro (1 ECU) in
+the same AZ, so each SQL round trip costs client CPU + network on top
+of server work.  :data:`QUERY_OVERHEAD` is that calibrated constant —
+it sets the ceiling TPS the paper's Figures 7/8 show when everything
+hits cache.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.apps.minidb.database import Database
+from repro.apps.minidb.records import Column, Schema
+from repro.simcloud.resources import RequestContext
+from repro.workloads.distributions import SpecialDistribution
+
+#: Client (t1.micro sysbench) CPU + same-AZ round trip per SQL query.
+QUERY_OVERHEAD = 2.8e-3
+
+#: Extra rows touched per range query (sysbench's default range size is
+#: 100; rows are scanned from the B+tree leaves).
+RANGE_SIZE = 100
+
+SBTEST_SCHEMA = Schema(
+    [
+        Column("id", "int"),
+        Column("k", "int"),
+        Column("c", "str"),
+        Column("pad", "str"),
+    ]
+)
+
+
+def make_row(key: int, rng: random.Random):
+    """One sysbench row: ~200 bytes like char(120) c + char(60) pad."""
+    c = "".join(rng.choice("abcdefghij0123456789-") for _ in range(119))
+    pad = "".join(rng.choice("qrstuvwxyz") for _ in range(59))
+    return (key, rng.randrange(1, 1_000_000), c, pad)
+
+
+def load_table(
+    db: Database,
+    rows: int,
+    table: str = "sbtest1",
+    seed: int = 42,
+    batch: int = 500,
+    ctx: Optional[RequestContext] = None,
+    clock=None,
+) -> RequestContext:
+    """Populate ``sbtest1`` (``sysbench prepare``), batched per txn.
+
+    Returns the load's request context.  When ``clock`` is given, the
+    simulation clock is advanced past the load's virtual frontier so a
+    subsequent benchmark run starts with idle resources — otherwise
+    benchmark clients would queue behind the entire load phase.
+    """
+    rng = random.Random(seed)
+    if ctx is None:
+        if clock is None:
+            raise ValueError("load_table needs a ctx or a clock")
+        ctx = RequestContext(clock)
+    db.create_table(table, SBTEST_SCHEMA, ctx=ctx)
+    loaded = 0
+    while loaded < rows:
+        txn = db.begin()
+        for key in range(loaded, min(loaded + batch, rows)):
+            txn.insert(table, make_row(key, rng), ctx=ctx)
+        txn.commit(ctx=ctx)
+        loaded += batch
+    if db.engine is not None:
+        db.checkpoint(ctx=ctx)
+    if clock is not None and ctx.time > clock.now():
+        clock.run_until(ctx.time)
+    return ctx
+
+
+class SysbenchOltp:
+    """Closed-loop OLTP transaction generator over a minidb Database."""
+
+    def __init__(
+        self,
+        db: Database,
+        rows: int,
+        hot_fraction: float,
+        read_only: bool = True,
+        table: str = "sbtest1",
+        seed: int = 1,
+        point_selects: int = 10,
+        range_queries: int = 4,
+        updates: int = 2,
+        delete_inserts: int = 1,
+    ):
+        self.db = db
+        self.rows = rows
+        self.table = table
+        self.read_only = read_only
+        self.point_selects = point_selects
+        self.range_queries = range_queries
+        self.updates = updates
+        self.delete_inserts = delete_inserts
+        self.dist = SpecialDistribution(rows, hot_fraction, seed=seed)
+        self.rng = random.Random(seed + 1)
+        self.transactions = 0
+
+    def _query_cost(self, ctx: RequestContext) -> None:
+        ctx.wait(QUERY_OVERHEAD)
+
+    def __call__(self, client: int, ctx: RequestContext) -> str:
+        """One OLTP transaction; the runner's op function."""
+        txn = self.db.begin()
+        try:
+            for _ in range(self.point_selects):
+                self._query_cost(ctx)
+                txn.get(self.table, self.dist.next(), ctx=ctx)
+            for _ in range(self.range_queries):
+                self._query_cost(ctx)
+                start = self.dist.next()
+                consumed = 0
+                for _ in txn.scan(
+                    self.table, start, start + RANGE_SIZE, ctx=ctx
+                ):
+                    consumed += 1
+            if not self.read_only:
+                for _ in range(self.updates):
+                    self._query_cost(ctx)
+                    key = self.dist.next()
+                    row = txn.get(self.table, key, ctx=ctx)
+                    if row is not None:
+                        new_row = (row[0], row[1] + 1, row[2], row[3])
+                        txn.update(self.table, key, new_row, ctx=ctx)
+                for _ in range(self.delete_inserts):
+                    self._query_cost(ctx)
+                    key = self.dist.next()
+                    row = txn.get(self.table, key, ctx=ctx)
+                    if row is not None:
+                        txn.delete(self.table, key, ctx=ctx)
+                        txn.insert(
+                            self.table, make_row(key, self.rng), ctx=ctx
+                        )
+            txn.commit(ctx=ctx)
+        except Exception:
+            if getattr(txn, "active", False) and hasattr(txn, "rollback"):
+                try:
+                    txn.rollback(ctx=ctx)
+                except Exception:
+                    pass
+            raise
+        self.db.maybe_checkpoint(ctx)
+        self.transactions += 1
+        return "rw" if not self.read_only else "ro"

@@ -1,0 +1,139 @@
+"""YCSB stand-in: keyed read/write mixes against a Tiera server.
+
+The paper uses YCSB for the tier-composition experiments: uniform and
+zipfian(0.99) reads of 4 KB records (Figure 11), a 50/50 uniform mix
+(Figure 13), write-only loads (Figures 15-17), and a zipfian insert
+stream (Figure 18).  :class:`YcsbWorkload` reproduces those mixes as a
+closed-loop op function for :func:`~repro.bench.runner.run_closed_loop`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.server import TieraServer
+from repro.simcloud.resources import RequestContext
+from repro.workloads.distributions import UniformKeys, ZipfianKeys
+
+RECORD_SIZE = 4096  # "each requesting 4KB of data per request"
+
+
+def record_payload(key: int, version: int, size: int = RECORD_SIZE) -> bytes:
+    """Deterministic, version-dependent content for record ``key``.
+
+    Different keys (and different versions of a key) produce different
+    bytes, so de-duplication experiments are not polluted by accidental
+    duplicates.
+    """
+    seed = (key * 2654435761 + version * 40503) & 0xFFFFFFFF
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(64)) * (size // 64) + bytes(
+        rng.getrandbits(8) for _ in range(size % 64)
+    )
+
+
+class YcsbWorkload:
+    """Configurable key-value workload over one Tiera server."""
+
+    def __init__(
+        self,
+        server: TieraServer,
+        record_count: int,
+        read_proportion: float = 1.0,
+        update_proportion: float = 0.0,
+        insert_proportion: float = 0.0,
+        distribution: str = "uniform",
+        theta: float = 0.99,
+        record_size: int = RECORD_SIZE,
+        seed: int = 7,
+    ):
+        total = read_proportion + update_proportion + insert_proportion
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("operation proportions must sum to 1")
+        if distribution not in ("uniform", "zipfian"):
+            raise ValueError(f"unknown distribution {distribution!r}")
+        self.server = server
+        self.record_count = record_count
+        self.read_proportion = read_proportion
+        self.update_proportion = update_proportion
+        self.record_size = record_size
+        self.rng = random.Random(seed)
+        if distribution == "uniform":
+            self.keys = UniformKeys(record_count, seed=seed + 1)
+        else:
+            self.keys = ZipfianKeys(
+                record_count, theta=theta, seed=seed + 1, scramble=True
+            )
+        self._insert_cursor = record_count
+        self._versions = {}
+
+    @staticmethod
+    def key_name(key: int) -> str:
+        return f"user{key:012d}"
+
+    def load(self, ctx: Optional[RequestContext] = None) -> None:
+        """The YCSB load phase: insert every record once."""
+        for key in range(self.record_count):
+            self.server.put(
+                self.key_name(key),
+                record_payload(key, 0, self.record_size),
+                ctx=ctx,
+            )
+
+    def __call__(self, client: int, ctx: RequestContext) -> str:
+        choice = self.rng.random()
+        if choice < self.read_proportion:
+            key = self.keys.next()
+            self.server.get(self.key_name(key), ctx=ctx)
+            return "read"
+        if choice < self.read_proportion + self.update_proportion:
+            key = self.keys.next()
+            version = self._versions.get(key, 0) + 1
+            self._versions[key] = version
+            self.server.put(
+                self.key_name(key),
+                record_payload(key, version, self.record_size),
+                ctx=ctx,
+            )
+            return "write"
+        key = self._insert_cursor
+        self._insert_cursor += 1
+        self.server.put(
+            self.key_name(key), record_payload(key, 0, self.record_size), ctx=ctx
+        )
+        return "insert"
+
+
+def read_only(server: TieraServer, records: int, distribution: str,
+              theta: float = 0.99, seed: int = 7) -> YcsbWorkload:
+    """Figure 11's read workload (uniform or zipfian)."""
+    return YcsbWorkload(
+        server, records, read_proportion=1.0,
+        distribution=distribution, theta=theta, seed=seed,
+    )
+
+
+def mixed_50_50(server: TieraServer, records: int, seed: int = 7) -> YcsbWorkload:
+    """Figure 13's workload: equal reads and writes, uniform, 4 KB."""
+    return YcsbWorkload(
+        server, records, read_proportion=0.5, update_proportion=0.5,
+        distribution="uniform", seed=seed,
+    )
+
+
+def write_only(server: TieraServer, records: int, seed: int = 7) -> YcsbWorkload:
+    """Figures 15/17: a pure write (update) stream."""
+    return YcsbWorkload(
+        server, records, read_proportion=0.0, update_proportion=1.0,
+        distribution="uniform", seed=seed,
+    )
+
+
+def insert_stream(server: TieraServer, seed: int = 7) -> YcsbWorkload:
+    """Figures 16/18: a stream of fresh 4 KB inserts (zipfian keys for
+    Figure 18, but fresh inserts are what both experiments issue)."""
+    return YcsbWorkload(
+        server, 1, read_proportion=0.0, update_proportion=0.0,
+        insert_proportion=1.0, distribution="uniform", seed=seed,
+    )

@@ -1,0 +1,16 @@
+"""App-test fixtures: a fast in-memory file system for minidb tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.server import TieraServer
+from repro.fs.filesystem import TieraFileSystem
+from tests.core.conftest import build_instance
+
+
+@pytest.fixture
+def fs(registry):
+    """File system over a single big Memcached tier: fast and simple."""
+    instance = build_instance(registry, [("t", "Memcached", 512 * 1024 * 1024)])
+    return TieraFileSystem(TieraServer(instance))

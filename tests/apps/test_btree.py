@@ -1,0 +1,151 @@
+"""B+tree: ordering, splits, overflow chains, deletion, model check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.minidb.btree import BTree, MAX_INLINE
+from repro.apps.minidb.buffer import BufferPool
+from repro.apps.minidb.pager import Pager
+
+
+@pytest.fixture
+def tree(fs):
+    pager = Pager(fs, "/tree", create=True)
+    return BTree(BufferPool(pager, 128), pager)
+
+
+class TestBasics:
+    def test_missing_key(self, tree):
+        assert tree.search(1) is None
+
+    def test_insert_search(self, tree):
+        assert tree.insert(5, b"five") is True
+        assert tree.search(5) == b"five"
+
+    def test_overwrite(self, tree):
+        tree.insert(5, b"old")
+        assert tree.insert(5, b"new") is False  # not a new key
+        assert tree.search(5) == b"new"
+
+    def test_insert_no_overwrite(self, tree):
+        tree.insert(5, b"old")
+        assert tree.insert(5, b"new", overwrite=False) is False
+        assert tree.search(5) == b"old"
+
+    def test_negative_keys(self, tree):
+        tree.insert(-10, b"neg")
+        tree.insert(10, b"pos")
+        assert tree.search(-10) == b"neg"
+        assert [k for k, _ in tree.scan()] == [-10, 10]
+
+    def test_delete(self, tree):
+        tree.insert(1, b"x")
+        assert tree.delete(1) is True
+        assert tree.delete(1) is False
+        assert tree.search(1) is None
+
+
+class TestSplitsAndScale:
+    def test_sequential_inserts_split(self, tree):
+        for key in range(500):
+            tree.insert(key, b"v" * 50)
+        assert tree.depth() >= 2
+        for key in (0, 250, 499):
+            assert tree.search(key) == b"v" * 50
+
+    def test_random_order_inserts(self, tree):
+        keys = list(range(800))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, str(key).encode())
+        assert [k for k, _ in tree.scan()] == list(range(800))
+
+    def test_reverse_order_inserts(self, tree):
+        for key in reversed(range(400)):
+            tree.insert(key, b"x")
+        assert [k for k, _ in tree.scan()] == list(range(400))
+
+    def test_scan_range(self, tree):
+        for key in range(0, 100, 2):
+            tree.insert(key, b"e")
+        assert [k for k, _ in tree.scan(10, 20)] == [10, 12, 14, 16, 18]
+
+    def test_scan_open_ends(self, tree):
+        for key in range(5):
+            tree.insert(key, b"x")
+        assert [k for k, _ in tree.scan(start=3)] == [3, 4]
+        assert [k for k, _ in tree.scan(end=2)] == [0, 1]
+
+
+class TestOverflow:
+    def test_large_value_roundtrip(self, tree):
+        big = bytes(range(256)) * 40  # 10 KB: multi-page overflow chain
+        tree.insert(1, big)
+        assert tree.search(1) == big
+
+    def test_boundary_value_inline(self, tree):
+        tree.insert(1, b"x" * MAX_INLINE)
+        assert tree.search(1) == b"x" * MAX_INLINE
+
+    def test_overflow_pages_freed_on_delete(self, tree):
+        big = b"y" * 20000
+        tree.insert(1, big)
+        pages_with_value = tree.pager.page_count
+        tree.delete(1)
+        freed_head = tree.pager.freelist_head
+        assert freed_head != 0  # chain went back to the freelist
+        # Re-inserting reuses freed pages instead of growing the file.
+        tree.insert(2, big)
+        assert tree.pager.page_count <= pages_with_value + 1
+
+    def test_overwrite_releases_old_chain(self, tree):
+        tree.insert(1, b"a" * 20000)
+        tree.insert(1, b"b" * 20000)
+        assert tree.search(1) == b"b" * 20000
+
+    def test_mixed_inline_and_overflow(self, tree):
+        for key in range(50):
+            value = b"small" if key % 2 else b"L" * 2000
+            tree.insert(key, value)
+        for key in range(50):
+            expected = b"small" if key % 2 else b"L" * 2000
+            assert tree.search(key) == expected
+
+
+class TestModelCheck:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "del"]),
+                st.integers(min_value=0, max_value=40),
+                st.binary(min_size=0, max_size=700),
+            ),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_model(self, ops):
+        from repro.simcloud.cluster import Cluster
+        from repro.tiers.registry import TierRegistry
+        from repro.core.server import TieraServer
+        from repro.fs.filesystem import TieraFileSystem
+        from tests.core.conftest import build_instance
+
+        registry = TierRegistry(Cluster(seed=5))
+        instance = build_instance(registry, [("t", "Memcached", 256 * 1024 * 1024)])
+        fs = TieraFileSystem(TieraServer(instance))
+        pager = Pager(fs, "/t", create=True)
+        tree = BTree(BufferPool(pager, 64), pager)
+        model = {}
+        for op, key, value in ops:
+            if op == "put":
+                tree.insert(key, value)
+                model[key] = value
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert {k: v for k, v in tree.scan()} == model
+        for key in range(41):
+            assert tree.search(key) == model.get(key)

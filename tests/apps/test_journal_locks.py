@@ -1,0 +1,134 @@
+"""Journal format/recovery and the two lock managers."""
+
+import pytest
+
+from repro.apps.minidb.errors import TransactionError
+from repro.apps.minidb.journal import (
+    COMMIT,
+    Journal,
+    JournalRecord,
+    UPDATE,
+    decode_record,
+    encode_record,
+)
+from repro.apps.minidb.locks import (
+    EXCLUSIVE,
+    RowLockManager,
+    SHARED,
+    TableLockManager,
+)
+
+
+class TestJournalRecords:
+    def test_update_roundtrip(self):
+        record = JournalRecord(
+            kind=UPDATE, txn_id=7, table="sbtest1", key=-5,
+            before=b"old", after=b"new",
+        )
+        decoded, offset = decode_record(encode_record(record), 0)
+        assert decoded == record
+        assert offset == len(encode_record(record))
+
+    def test_none_images(self):
+        record = JournalRecord(
+            kind=UPDATE, txn_id=1, table="t", key=2, before=None, after=b"x"
+        )
+        decoded, _ = decode_record(encode_record(record), 0)
+        assert decoded.before is None
+        assert decoded.after == b"x"
+
+    def test_torn_record_returns_none(self):
+        blob = encode_record(JournalRecord(kind=COMMIT, txn_id=1))
+        decoded, _ = decode_record(blob[:-1], 0)
+        assert decoded is None
+
+    def test_corrupt_crc_returns_none(self):
+        blob = bytearray(encode_record(JournalRecord(kind=COMMIT, txn_id=1)))
+        blob[-1] ^= 0x55
+        decoded, _ = decode_record(bytes(blob), 0)
+        assert decoded is None
+
+
+class TestJournal:
+    def test_committed_records_filter(self, fs):
+        journal = Journal(fs, "/j")
+        journal.log_begin(1)
+        journal.log_update(1, "t", 10, None, b"a")
+        journal.log_commit(1)
+        journal.log_begin(2)
+        journal.log_update(2, "t", 20, None, b"b")
+        # txn 2 never commits (crash)
+        records = journal.committed_records()
+        assert [(r.txn_id, r.key) for r in records] == [(1, 10)]
+
+    def test_checkpoint_truncates(self, fs):
+        journal = Journal(fs, "/j")
+        for i in range(50):
+            journal.log_begin(i)
+            journal.log_update(i, "t", i, None, b"x" * 100)
+            journal.log_commit(i)
+        assert journal.bytes_since_checkpoint > 5000
+        journal.checkpoint()
+        assert journal.bytes_since_checkpoint == 0
+        assert journal.committed_records() == []
+
+    def test_unforced_commit_still_counts_after_flush(self, fs):
+        journal = Journal(fs, "/j")
+        journal.log_begin(1)
+        journal.log_commit(1, force=False)  # read-only group commit
+        assert [r for r in journal.committed_records()] == []
+
+
+class TestRowLockManager:
+    def test_shared_locks_coexist(self):
+        locks = RowLockManager()
+        locks.acquire(1, "t", 5, SHARED)
+        locks.acquire(2, "t", 5, SHARED)
+        assert set(locks.holders_of("t", 5)) == {1, 2}
+
+    def test_exclusive_conflicts(self):
+        locks = RowLockManager()
+        locks.acquire(1, "t", 5, EXCLUSIVE)
+        with pytest.raises(TransactionError):
+            locks.acquire(2, "t", 5, SHARED)
+        with pytest.raises(TransactionError):
+            locks.acquire(2, "t", 5, EXCLUSIVE)
+
+    def test_upgrade_own_lock(self):
+        locks = RowLockManager()
+        locks.acquire(1, "t", 5, SHARED)
+        locks.acquire(1, "t", 5, EXCLUSIVE)  # sole holder may upgrade
+        assert locks.holders_of("t", 5) == {1: EXCLUSIVE}
+
+    def test_upgrade_blocked_by_other_reader(self):
+        locks = RowLockManager()
+        locks.acquire(1, "t", 5, SHARED)
+        locks.acquire(2, "t", 5, SHARED)
+        with pytest.raises(TransactionError):
+            locks.acquire(1, "t", 5, EXCLUSIVE)
+
+    def test_release_all(self):
+        locks = RowLockManager()
+        locks.acquire(1, "t", 5, EXCLUSIVE)
+        locks.acquire(1, "t", 6, SHARED)
+        locks.release_all(1)
+        assert locks.held(1) == set()
+        locks.acquire(2, "t", 5, EXCLUSIVE)  # now free
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            RowLockManager().acquire(1, "t", 1, "Z")
+
+
+class TestTableLockManager:
+    def test_single_resource_per_table(self):
+        locks = TableLockManager()
+        assert locks.resource("a") is locks.resource("a")
+        assert locks.resource("a") is not locks.resource("b")
+
+    def test_serializes_in_virtual_time(self):
+        locks = TableLockManager()
+        resource = locks.resource("t")
+        start1, end1 = resource.acquire(0.0, 5.0)
+        start2, _ = resource.acquire(0.0, 5.0)
+        assert start2 == end1  # convoy: one at a time

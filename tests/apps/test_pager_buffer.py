@@ -1,0 +1,116 @@
+"""Pager and buffer pool."""
+
+import pytest
+
+from repro.apps.minidb.buffer import BufferPool
+from repro.apps.minidb.errors import CorruptPageError
+from repro.apps.minidb.pager import NO_PAGE, PAGE_SIZE, Pager
+
+
+class TestPager:
+    def test_fresh_file_has_header_only(self, fs):
+        pager = Pager(fs, "/db", create=True)
+        assert pager.page_count == 1
+        assert pager.root_page == NO_PAGE
+
+    def test_allocate_and_rw(self, fs):
+        pager = Pager(fs, "/db", create=True)
+        page_no = pager.allocate_page()
+        pager.write_page(page_no, b"\xab" * PAGE_SIZE)
+        assert pager.read_page(page_no) == b"\xab" * PAGE_SIZE
+
+    def test_page_zero_protected(self, fs):
+        pager = Pager(fs, "/db", create=True)
+        with pytest.raises(CorruptPageError):
+            pager.read_page(0)
+        with pytest.raises(CorruptPageError):
+            pager.write_page(0, b"\x00" * PAGE_SIZE)
+
+    def test_out_of_range_rejected(self, fs):
+        pager = Pager(fs, "/db", create=True)
+        with pytest.raises(CorruptPageError):
+            pager.read_page(99)
+
+    def test_wrong_page_size_rejected(self, fs):
+        pager = Pager(fs, "/db", create=True)
+        page_no = pager.allocate_page()
+        with pytest.raises(ValueError):
+            pager.write_page(page_no, b"short")
+
+    def test_freelist_reuse(self, fs):
+        pager = Pager(fs, "/db", create=True)
+        a = pager.allocate_page()
+        b = pager.allocate_page()
+        pager.free_page(a)
+        assert pager.allocate_page() == a  # reused
+        assert pager.allocate_page() == b + 1  # then fresh growth
+
+    def test_header_persists(self, fs):
+        pager = Pager(fs, "/db", create=True)
+        pager.allocate_page()
+        pager.root_page = 1
+        pager.row_count = 42
+        pager.close()
+        reopened = Pager(fs, "/db")
+        assert reopened.page_count == 2
+        assert reopened.root_page == 1
+        assert reopened.row_count == 42
+
+    def test_bad_magic_detected(self, fs):
+        with fs.open("/db", "w") as handle:
+            handle.write(b"JUNKJUNKJUNK" * 400)
+        with pytest.raises(CorruptPageError):
+            Pager(fs, "/db")
+
+
+class TestBufferPool:
+    def make(self, fs, capacity=4):
+        pager = Pager(fs, "/db", create=True)
+        pool = BufferPool(pager, capacity)
+        return pager, pool
+
+    def test_get_caches(self, fs):
+        pager, pool = self.make(fs)
+        page_no = pager.allocate_page()
+        pager.write_page(page_no, b"\x01" * PAGE_SIZE)
+        pool.get(page_no)
+        pool.get(page_no)
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_dirty_page_written_on_eviction(self, fs):
+        pager, pool = self.make(fs, capacity=4)
+        pages = [pager.allocate_page() for _ in range(6)]
+        pool.put(pages[0], bytearray(b"\x07" * PAGE_SIZE))
+        for page_no in pages[1:6]:
+            pool.get(page_no)  # force eviction of pages[0]
+        assert pool.evictions >= 1
+        assert pager.read_page(pages[0]) == b"\x07" * PAGE_SIZE
+
+    def test_flush_writes_all_dirty(self, fs):
+        pager, pool = self.make(fs, capacity=8)
+        pages = [pager.allocate_page() for _ in range(3)]
+        for page_no in pages:
+            pool.put(page_no, bytearray(b"\x05" * PAGE_SIZE))
+        assert pool.flush() == 3
+        assert pool.dirty_count == 0
+        for page_no in pages:
+            assert pager.read_page(page_no) == b"\x05" * PAGE_SIZE
+
+    def test_mark_dirty_requires_residency(self, fs):
+        pager, pool = self.make(fs)
+        with pytest.raises(KeyError):
+            pool.mark_dirty(99)
+
+    def test_minimum_capacity(self, fs):
+        pager = Pager(fs, "/db", create=True)
+        with pytest.raises(ValueError):
+            BufferPool(pager, 2)
+
+    def test_drop(self, fs):
+        pager, pool = self.make(fs)
+        page_no = pager.allocate_page()
+        pool.put(page_no, bytearray(PAGE_SIZE))
+        pool.drop(page_no)
+        assert pool.dirty_count == 0
+        assert pool.resident == 0

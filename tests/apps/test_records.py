@@ -1,0 +1,80 @@
+"""Row schema validation and serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.minidb.records import (
+    Column,
+    Schema,
+    decode_row,
+    encode_row,
+)
+
+
+class TestSchema:
+    def test_primary_key_must_be_int(self):
+        with pytest.raises(ValueError):
+            Schema([Column("name", "str")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([Column("id", "int"), Column("id", "int")])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            Column("x", "decimal")
+
+    def test_validate_row(self):
+        schema = Schema([Column("id", "int"), Column("name", "str")])
+        schema.validate_row((1, "ok"))
+        with pytest.raises(TypeError):
+            schema.validate_row((1, 42))
+        with pytest.raises(ValueError):
+            schema.validate_row((1,))
+
+    def test_to_dict(self):
+        schema = Schema([Column("id", "int"), Column("name", "str")])
+        assert schema.to_dict((1, "x")) == {"id": 1, "name": "x"}
+
+
+class TestRowSerialization:
+    def test_all_types(self):
+        row = (7, 3.5, "text", b"\x00\xff")
+        assert decode_row(encode_row(row)) == row
+
+    def test_negative_and_large_ints(self):
+        row = (-(2 ** 62), 2 ** 62)
+        assert decode_row(encode_row(row)) == row
+
+    def test_unicode(self):
+        row = (1, "héllo wörld ☃")
+        assert decode_row(encode_row(row)) == row
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            encode_row((1, True))
+
+    def test_bad_tag_detected(self):
+        blob = bytearray(encode_row((1, "x")))
+        blob[4] = ord("z")  # clobber the first type tag
+        with pytest.raises(ValueError):
+            decode_row(bytes(blob))
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1),
+                st.floats(allow_nan=False, allow_infinity=False, width=64),
+                st.text(max_size=60),
+                st.binary(max_size=60),
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip_property(self, row):
+        assert decode_row(encode_row(tuple(row))) == tuple(row)

@@ -1,0 +1,174 @@
+"""Bench harness: metrics, time series, closed-loop runner."""
+
+import pytest
+
+from repro.bench.metrics import LatencyRecorder, TimeSeries
+from repro.bench.report import format_table, ms
+from repro.bench.runner import run_closed_loop
+from repro.simcloud.clock import SimClock
+from repro.simcloud.resources import Resource
+
+
+class TestLatencyRecorder:
+    def test_mean_and_percentiles(self):
+        rec = LatencyRecorder()
+        for value in range(1, 101):
+            rec.record(value / 1000.0)
+        assert rec.mean() == pytest.approx(0.0505)
+        assert rec.p95() == pytest.approx(0.095)
+        assert rec.percentile(50) == pytest.approx(0.050)
+        assert rec.maximum() == pytest.approx(0.100)
+
+    def test_labels(self):
+        rec = LatencyRecorder()
+        rec.record(0.001, "read")
+        rec.record(0.010, "write")
+        rec.record(0.002, "read")
+        assert rec.labels() == ["read", "write"]
+        assert rec.mean("read") == pytest.approx(0.0015)
+        assert rec.count_for("write") == 1
+
+    def test_empty_recorder(self):
+        rec = LatencyRecorder()
+        assert rec.mean() == 0.0
+        assert rec.p95() == 0.0
+
+    def test_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.record(0.001, "x")
+        b.record(0.003, "x")
+        a.merge(b)
+        assert a.count == 2
+        assert a.count_for("x") == 2
+
+    def test_validation(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError):
+            rec.record(-1)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+
+
+class TestTimeSeries:
+    def test_bucketing(self):
+        ts = TimeSeries(60.0)
+        ts.record(10, 1.0)
+        ts.record(50, 3.0)
+        ts.record(70, 5.0)
+        assert ts.means() == [(0.0, 2.0), (60.0, 5.0)]
+        assert ts.counts() == [(0.0, 2), (60.0, 1)]
+        assert ts.rate() == [(0.0, 2 / 60.0), (60.0, 1 / 60.0)]
+
+
+class TestFormatTable:
+    def test_renders(self):
+        out = format_table(
+            "Figure X", ["a", "bb"], [[1, 2.5], ["x", 0.001]], note="n.b."
+        )
+        assert "Figure X" in out
+        assert "n.b." in out
+        assert "2.50" in out
+
+    def test_ms_helper(self):
+        assert ms(0.005) == 5.0
+
+
+class TestClosedLoopRunner:
+    def test_throughput_of_fixed_service(self):
+        clock = SimClock()
+        resource = Resource("svc", channels=1)
+
+        def op(client, ctx):
+            ctx.use(resource, 0.010)
+            return "op"
+
+        result = run_closed_loop(clock, clients=1, duration=10.0, op_fn=op)
+        # One client, 10ms per op: ~100 ops/s.
+        assert result.throughput == pytest.approx(100, rel=0.05)
+
+    def test_single_channel_saturation(self):
+        clock = SimClock()
+        resource = Resource("svc", channels=1)
+
+        def op(client, ctx):
+            ctx.use(resource, 0.010)
+
+        result = run_closed_loop(clock, clients=8, duration=10.0, op_fn=op)
+        # Eight clients cannot beat the single channel's 100 ops/s,
+        # and their latency inflates to ~8x the service time.
+        assert result.throughput == pytest.approx(100, rel=0.05)
+        assert result.latencies.mean() == pytest.approx(0.080, rel=0.10)
+
+    def test_think_time_caps_rate(self):
+        clock = SimClock()
+
+        def op(client, ctx):
+            ctx.wait(0.001)
+
+        result = run_closed_loop(
+            clock, clients=2, duration=10.0, op_fn=op, think_time=0.099
+        )
+        assert result.throughput == pytest.approx(20, rel=0.1)
+
+    def test_warmup_excluded(self):
+        clock = SimClock()
+        seen = []
+
+        def op(client, ctx):
+            ctx.wait(1.0)
+            seen.append(ctx.time)
+
+        result = run_closed_loop(
+            clock, clients=1, duration=10.0, op_fn=op, warmup=5.0
+        )
+        # Ops complete at t = 1..10; the measured window [5, 10] is
+        # inclusive at both ends: 6 completions.
+        assert result.operations == 6
+        assert result.duration == 5.0
+
+    def test_errors_counted_not_recorded(self):
+        clock = SimClock()
+        calls = {"n": 0}
+
+        def op(client, ctx):
+            calls["n"] += 1
+            ctx.wait(0.5)
+            if calls["n"] % 2 == 0:
+                from repro.core.errors import TieraError
+
+                raise TieraError("boom")
+
+        result = run_closed_loop(clock, clients=1, duration=10.0, op_fn=op)
+        assert result.errors > 0
+        assert result.operations + result.errors == pytest.approx(20, abs=2)
+
+    def test_timers_fire_during_run(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_repeating(1.0, lambda: fired.append(clock.now()))
+
+        def op(client, ctx):
+            ctx.wait(0.1)
+
+        run_closed_loop(clock, clients=1, duration=5.5, op_fn=op)
+        assert len(fired) == 5
+
+    def test_series_collection(self):
+        clock = SimClock()
+
+        def op(client, ctx):
+            ctx.wait(0.1)
+
+        result = run_closed_loop(
+            clock, clients=1, duration=4.0, op_fn=op, series_bucket=1.0
+        )
+        rates = result.throughput_series.rate()
+        assert len(rates) == 4
+        assert all(rate == pytest.approx(10, rel=0.2) for _, rate in rates)
+
+    def test_validation(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            run_closed_loop(clock, clients=0, duration=1, op_fn=lambda c, x: None)
+        with pytest.raises(ValueError):
+            run_closed_loop(clock, clients=1, duration=0, op_fn=lambda c, x: None)

@@ -1,0 +1,30 @@
+"""Shared fixtures: a fresh simulated cluster + tier registry per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simcloud.clock import SimClock
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.pricing import CostMeter
+from repro.tiers.registry import TierRegistry
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(seed=1234)
+
+
+@pytest.fixture
+def meter() -> CostMeter:
+    return CostMeter()
+
+
+@pytest.fixture
+def registry(cluster, meter) -> TierRegistry:
+    return TierRegistry(cluster, meter=meter)

@@ -1,0 +1,57 @@
+"""Core-test fixtures: a small two/three-tier instance on FixedLatency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import TieraInstance
+from repro.core.policy import Policy
+from repro.core.server import TieraServer
+from repro.simcloud.resources import RequestContext
+
+
+def build_instance(registry, tier_specs, rules=(), name="test", **kwargs):
+    """tier_specs: list of (tier_name, product, size_bytes)."""
+    tiers = [
+        registry.create(product, tier_name=tname, size=size)
+        for tname, product, size in tier_specs
+    ]
+    instance = TieraInstance(
+        name=name,
+        tiers=tiers,
+        policy=Policy(list(rules)),
+        clock=registry.cluster.clock,
+        **kwargs,
+    )
+    return instance
+
+
+@pytest.fixture
+def two_tier(registry):
+    """Memcached (small) over EBS, no rules — default placement only."""
+    return build_instance(
+        registry,
+        [("tier1", "Memcached", 64 * 1024), ("tier2", "EBS", 10 ** 7)],
+    )
+
+
+@pytest.fixture
+def three_tier(registry):
+    return build_instance(
+        registry,
+        [
+            ("tier1", "Memcached", 64 * 1024),
+            ("tier2", "EBS", 10 ** 6),
+            ("tier3", "S3", None),
+        ],
+    )
+
+
+@pytest.fixture
+def ctx(cluster):
+    return RequestContext(cluster.clock)
+
+
+@pytest.fixture
+def server(two_tier):
+    return TieraServer(two_tier)

@@ -1,0 +1,70 @@
+"""The repro CLI: validate / cost commands (serve covered via rpc tests)."""
+
+import pytest
+
+from repro.cli import main
+
+SPEC = """
+Tiera Demo() {
+    tier1: { name: Memcached, size: 1G };
+    tier2: { name: EBS, size: 2G };
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"""
+
+PARAMETRIC = """
+Tiera Timed(time t) {
+    tier1: { name: Memcached, size: 1G };
+    event(time=t) : response {
+        copy(what: object.location == tier1, to: tier1);
+    }
+}
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "demo.tiera"
+    path.write_text(SPEC)
+    return str(path)
+
+
+class TestValidate:
+    def test_valid_spec(self, spec_file, capsys):
+        assert main(["validate", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "instance Demo" in out
+        assert "tier tier1: Memcached" in out
+        assert "compiles cleanly" in out
+
+    def test_parametric_spec_lists_params(self, tmp_path, capsys):
+        path = tmp_path / "p.tiera"
+        path.write_text(PARAMETRIC)
+        assert main(["validate", str(path)]) == 0
+        assert "time t" in capsys.readouterr().out
+
+    def test_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.tiera"
+        path.write_text("Tiera Broken { nope }")
+        assert main(["validate", str(path)]) == 1
+        assert "syntax error" in capsys.readouterr().err
+
+
+class TestCost:
+    def test_prices_configuration(self, spec_file, capsys):
+        assert main(["cost", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "$35.20/month" in out  # 1G memcached + 2G EBS
+        assert "tier1 (memcached): $35.00" in out
+
+    def test_args_passed_through(self, tmp_path, capsys):
+        path = tmp_path / "p.tiera"
+        path.write_text(PARAMETRIC)
+        assert main(["cost", str(path), "--arg", "t=30"]) == 0
+        assert "$35.00/month" in capsys.readouterr().out
+
+    def test_bad_arg_format(self, spec_file):
+        with pytest.raises(SystemExit):
+            main(["cost", spec_file, "--arg", "nonsense"])

@@ -1,0 +1,180 @@
+"""Condition AST: attribute resolution, comparisons, boolean logic."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.conditions import (
+    And,
+    AttrRef,
+    Comparison,
+    EvalScope,
+    Literal,
+    Not,
+    Or,
+    TierDirtyBytes,
+    TierFull,
+)
+from repro.core.errors import PolicyError
+from repro.core.objects import ObjectMeta
+from tests.core.conftest import build_instance
+
+
+@pytest.fixture
+def instance(two_tier):
+    return two_tier
+
+
+def scope_for(instance, action=None, obj=None):
+    return EvalScope(instance=instance, action=action, obj=obj)
+
+
+class TestAttrRef:
+    def test_tier_filled(self, instance, ctx):
+        instance.create_object("a", 32 * 1024)
+        instance.write_to_tier("a", b"x" * (32 * 1024), "tier1", ctx)
+        ref = AttrRef(("tier1", "filled"))
+        assert ref.evaluate(scope_for(instance)) == pytest.approx(0.5)
+
+    def test_tier_used_and_capacity(self, instance, ctx):
+        instance.create_object("a", 100)
+        instance.write_to_tier("a", b"x" * 100, "tier1", ctx)
+        assert AttrRef(("tier1", "used")).evaluate(scope_for(instance)) == 100
+        assert AttrRef(("tier1", "capacity")).evaluate(scope_for(instance)) == 64 * 1024
+
+    def test_object_attributes(self, instance):
+        meta = ObjectMeta(key="k", size=9, dirty=True, locations={"tier1"})
+        scope = scope_for(instance, obj=meta)
+        assert AttrRef(("object", "dirty")).evaluate(scope) is True
+        assert AttrRef(("object", "size")).evaluate(scope) == 9
+        assert AttrRef(("object", "location")).evaluate(scope) == {"tier1"}
+
+    def test_insert_object_path(self, instance):
+        meta = ObjectMeta(key="k", dirty=True)
+        action = Action(kind="insert", key="k", meta=meta, tier="tier1")
+        scope = scope_for(instance, action=action)
+        assert AttrRef(("insert", "object", "dirty")).evaluate(scope) is True
+        assert AttrRef(("insert", "into")).evaluate(scope) == "tier1"
+
+    def test_time_resolves_to_clock(self, instance):
+        instance.clock.advance(12)
+        assert AttrRef(("time",)).evaluate(scope_for(instance)) == 12
+
+    def test_unknown_path_raises(self, instance):
+        with pytest.raises(PolicyError):
+            AttrRef(("nonsense", "attr")).evaluate(scope_for(instance))
+
+    def test_unknown_object_attr_raises(self, instance):
+        scope = scope_for(instance, obj=ObjectMeta(key="k"))
+        with pytest.raises(PolicyError):
+            AttrRef(("object", "wat")).evaluate(scope)
+
+    def test_object_path_without_object_raises(self, instance):
+        with pytest.raises(PolicyError):
+            AttrRef(("object", "dirty")).evaluate(scope_for(instance))
+
+    def test_access_frequency(self, instance):
+        meta = ObjectMeta(key="k", created_at=0.0)
+        meta.touch(1.0)
+        instance.clock.advance(10)
+        scope = scope_for(instance, obj=meta)
+        assert AttrRef(("object", "access_frequency")).evaluate(scope) == pytest.approx(0.1)
+
+
+class TestComparison:
+    def test_location_membership(self, instance):
+        meta = ObjectMeta(key="k", locations={"tier1", "tier2"})
+        scope = scope_for(instance, obj=meta)
+        cmp1 = Comparison("==", AttrRef(("object", "location")), Literal("tier1"))
+        cmp3 = Comparison("==", AttrRef(("object", "location")), Literal("tier3"))
+        assert cmp1.evaluate(scope) is True
+        assert cmp3.evaluate(scope) is False
+
+    def test_tag_membership(self, instance):
+        meta = ObjectMeta(key="k", tags={"tmp"})
+        scope = scope_for(instance, obj=meta)
+        assert Comparison("==", AttrRef(("object", "tags")), Literal("tmp")).evaluate(scope)
+
+    def test_numeric_operators(self, instance):
+        scope = scope_for(instance)
+        assert Comparison("<", Literal(1), Literal(2)).evaluate(scope)
+        assert Comparison(">=", Literal(2), Literal(2)).evaluate(scope)
+        assert Comparison("!=", Literal(1), Literal(2)).evaluate(scope)
+        assert not Comparison(">", Literal(1), Literal(2)).evaluate(scope)
+
+    def test_tier_compares_by_name(self, instance):
+        # `insert.into == tier1` where lhs resolves to a tier name and
+        # rhs to a Tier object.
+        action = Action(kind="insert", key="k", meta=ObjectMeta(key="k"), tier="tier1")
+        scope = scope_for(instance, action=action)
+        cmp = Comparison("==", AttrRef(("insert", "into")), AttrRef(("tier1",)))
+        assert cmp.evaluate(scope) is True
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PolicyError):
+            Comparison("~=", Literal(1), Literal(1))
+
+
+class TestBooleanLogic:
+    def test_and_or_not(self, instance):
+        scope = scope_for(instance)
+        t, f = Literal(True), Literal(False)
+        assert And(t, t).evaluate(scope)
+        assert not And(t, f).evaluate(scope)
+        assert Or(f, t).evaluate(scope)
+        assert not Or(f, f).evaluate(scope)
+        assert Not(f).evaluate(scope)
+
+    def test_figure3_writeback_predicate(self, instance):
+        """object.location == tier1 && object.dirty == true"""
+        predicate = And(
+            Comparison("==", AttrRef(("object", "location")), Literal("tier1")),
+            Comparison("==", AttrRef(("object", "dirty")), Literal(True)),
+        )
+        dirty_in_t1 = ObjectMeta(key="a", locations={"tier1"}, dirty=True)
+        clean_in_t1 = ObjectMeta(key="b", locations={"tier1"}, dirty=False)
+        dirty_in_t2 = ObjectMeta(key="c", locations={"tier2"}, dirty=True)
+        assert predicate.evaluate(scope_for(instance, obj=dirty_in_t1))
+        assert not predicate.evaluate(scope_for(instance, obj=clean_in_t1))
+        assert not predicate.evaluate(scope_for(instance, obj=dirty_in_t2))
+
+
+class TestTierFull:
+    def test_full_without_pending_insert(self, instance, ctx):
+        cond = TierFull("tier1")
+        assert not cond.evaluate(scope_for(instance))
+        instance.create_object("a", 64 * 1024)
+        instance.write_to_tier("a", b"x" * (64 * 1024), "tier1", ctx)
+        assert cond.evaluate(scope_for(instance))
+
+    def test_pending_insert_that_does_not_fit(self, instance, ctx):
+        instance.create_object("a", 60 * 1024)
+        instance.write_to_tier("a", b"x" * (60 * 1024), "tier1", ctx)
+        meta = instance.create_object("b", 8 * 1024)
+        action = Action(kind="insert", key="b", meta=meta, data=b"y" * (8 * 1024))
+        assert TierFull("tier1").evaluate(scope_for(instance, action=action))
+
+    def test_pending_insert_that_fits(self, instance):
+        meta = instance.create_object("b", 1024)
+        action = Action(kind="insert", key="b", meta=meta, data=b"y" * 1024)
+        assert not TierFull("tier1").evaluate(scope_for(instance, action=action))
+
+    def test_unknown_tier(self, instance):
+        from repro.core.errors import UnknownTierError
+
+        with pytest.raises(UnknownTierError):
+            TierFull("tier9").evaluate(scope_for(instance))
+
+
+class TestTierDirtyBytes:
+    def test_sums_only_dirty_in_tier(self, instance, ctx):
+        a = instance.create_object("a", 10)
+        instance.write_to_tier("a", b"x" * 10, "tier1", ctx)
+        a.dirty = True
+        b = instance.create_object("b", 20)
+        instance.write_to_tier("b", b"y" * 20, "tier1", ctx)
+        b.dirty = False
+        c = instance.create_object("c", 40)
+        instance.write_to_tier("c", b"z" * 40, "tier2", ctx)
+        c.dirty = True
+        cond = TierDirtyBytes("tier1")
+        assert cond.evaluate(scope_for(instance)) == 10

@@ -1,0 +1,42 @@
+"""Report-table formatting details."""
+
+import pytest
+
+from repro.bench.report import format_table, ms
+
+
+class TestFormatTable:
+    def test_column_widths_fit_longest_cell(self):
+        out = format_table(
+            "T", ["short", "x"], [["a-very-long-cell-value", 1]]
+        )
+        lines = out.splitlines()
+        header, rule, row = lines[2], lines[3], lines[4]
+        assert len(rule) >= len("a-very-long-cell-value")
+        assert row.startswith("a-very-long-cell-value")
+
+    def test_float_formatting_tiers(self):
+        out = format_table(
+            "T", ["v"], [[1234.5678], [12.345], [0.12345], [0.0]]
+        )
+        assert "1235" in out          # >=100 → no decimals
+        assert "12.35" in out         # >=1 → two decimals
+        assert "0.1235" in out        # <1 → four decimals
+        assert "\n0" in out           # zero → bare 0
+
+    def test_title_rule_matches_title(self):
+        out = format_table("My Title", ["a"], [[1]])
+        lines = out.splitlines()
+        assert lines[0] == "My Title"
+        assert lines[1] == "=" * len("My Title")
+
+    def test_note_appended(self):
+        out = format_table("T", ["a"], [[1]], note="context line")
+        assert out.endswith("context line")
+
+    def test_empty_rows(self):
+        out = format_table("T", ["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_ms(self):
+        assert ms(0.0123) == pytest.approx(12.3)

@@ -1,0 +1,93 @@
+"""Selectors: insert.object, predicates, tags, tier recency."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.conditions import And, AttrRef, Comparison, EvalScope, Literal
+from repro.core.errors import PolicyError, UnknownTierError
+from repro.core.objects import ObjectMeta
+from repro.core.selectors import (
+    AllObjects,
+    InsertObject,
+    NamedObjects,
+    ObjectsWhere,
+    TaggedObjects,
+    TierNewest,
+    TierOldest,
+)
+
+
+def scope(instance, action=None):
+    return EvalScope(instance=instance, action=action)
+
+
+class TestInsertObject:
+    def test_resolves_action_key(self, two_tier):
+        action = Action(kind="insert", key="k", meta=ObjectMeta(key="k"))
+        assert InsertObject().resolve(scope(two_tier, action)) == ["k"]
+
+    def test_requires_action(self, two_tier):
+        with pytest.raises(PolicyError):
+            InsertObject().resolve(scope(two_tier))
+
+
+class TestNamedObjects:
+    def test_keeps_only_existing(self, two_tier):
+        two_tier.create_object("a", 1)
+        sel = NamedObjects("a", "ghost")
+        assert sel.resolve(scope(two_tier)) == ["a"]
+
+
+class TestTaggedObjects:
+    def test_selects_object_class(self, two_tier):
+        two_tier.create_object("a", 1, tags={"tmp"})
+        two_tier.create_object("b", 1, tags={"tmp", "x"})
+        two_tier.create_object("c", 1)
+        assert TaggedObjects("tmp").resolve(scope(two_tier)) == ["a", "b"]
+
+
+class TestAllObjects:
+    def test_everything(self, two_tier):
+        for key in ("b", "a"):
+            two_tier.create_object(key, 1)
+        assert AllObjects().resolve(scope(two_tier)) == ["a", "b"]
+
+
+class TestObjectsWhere:
+    def test_figure3_predicate(self, two_tier, ctx):
+        a = two_tier.create_object("a", 4)
+        two_tier.write_to_tier("a", b"aaaa", "tier1", ctx)
+        a.dirty = True
+        b = two_tier.create_object("b", 4)
+        two_tier.write_to_tier("b", b"bbbb", "tier1", ctx)
+        b.dirty = False
+        predicate = And(
+            Comparison("==", AttrRef(("object", "location")), Literal("tier1")),
+            Comparison("==", AttrRef(("object", "dirty")), Literal(True)),
+        )
+        assert ObjectsWhere(predicate).resolve(scope(two_tier)) == ["a"]
+
+    def test_empty_result(self, two_tier):
+        predicate = Comparison("==", AttrRef(("object", "dirty")), Literal(True))
+        assert ObjectsWhere(predicate).resolve(scope(two_tier)) == []
+
+
+class TestTierRecency:
+    def test_oldest_and_newest(self, two_tier, ctx):
+        for key in ("a", "b", "c"):
+            two_tier.create_object(key, 1)
+            two_tier.write_to_tier(key, b"x", "tier1", ctx)
+        assert TierOldest("tier1").resolve(scope(two_tier)) == ["a"]
+        assert TierNewest("tier1").resolve(scope(two_tier)) == ["c"]
+        # An access refreshes recency.
+        two_tier.tiers.get("tier1").get("a", ctx)
+        assert TierOldest("tier1").resolve(scope(two_tier)) == ["b"]
+        assert TierNewest("tier1").resolve(scope(two_tier)) == ["a"]
+
+    def test_empty_tier(self, two_tier):
+        assert TierOldest("tier1").resolve(scope(two_tier)) == []
+        assert TierNewest("tier1").resolve(scope(two_tier)) == []
+
+    def test_unknown_tier(self, two_tier):
+        with pytest.raises(UnknownTierError):
+            TierOldest("tier9").resolve(scope(two_tier))

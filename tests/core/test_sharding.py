@@ -1,0 +1,124 @@
+"""Horizontally scaled Tiera (the §6 future-work extension)."""
+
+import pytest
+
+from repro.core.errors import TieraError
+from repro.core.server import TieraServer
+from repro.core.sharding import ConsistentHashRing, ShardedTieraServer
+from tests.core.conftest import build_instance
+
+
+def make_shard(registry, name):
+    instance = build_instance(
+        registry,
+        [(f"{name}-mem", "Memcached", 10 ** 7), (f"{name}-ebs", "EBS", 10 ** 8)],
+        name=name,
+    )
+    return TieraServer(instance)
+
+
+@pytest.fixture
+def sharded(registry):
+    return ShardedTieraServer(
+        {name: make_shard(registry, name) for name in ("a", "b", "c")}
+    )
+
+
+class TestRing:
+    def test_deterministic_ownership(self):
+        ring = ConsistentHashRing()
+        for shard in ("a", "b", "c"):
+            ring.add(shard)
+        assert ring.owner("key1") == ring.owner("key1")
+
+    def test_keys_spread_across_shards(self):
+        ring = ConsistentHashRing()
+        for shard in ("a", "b", "c"):
+            ring.add(shard)
+        owners = {ring.owner(f"key{i}") for i in range(200)}
+        assert owners == {"a", "b", "c"}
+
+    def test_spread_is_roughly_even(self):
+        ring = ConsistentHashRing()
+        for shard in ("a", "b", "c", "d"):
+            ring.add(shard)
+        counts = {}
+        for i in range(4000):
+            owner = ring.owner(f"key{i}")
+            counts[owner] = counts.get(owner, 0) + 1
+        assert min(counts.values()) > 0.4 * max(counts.values())
+
+    def test_removal_only_moves_departing_keys(self):
+        ring = ConsistentHashRing()
+        for shard in ("a", "b", "c"):
+            ring.add(shard)
+        before = {f"key{i}": ring.owner(f"key{i}") for i in range(300)}
+        ring.remove("c")
+        for key, owner in before.items():
+            if owner != "c":
+                assert ring.owner(key) == owner  # survivors keep their keys
+
+    def test_duplicate_and_missing(self):
+        ring = ConsistentHashRing()
+        ring.add("a")
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(KeyError):
+            ring.remove("zzz")
+
+    def test_empty_ring(self):
+        with pytest.raises(TieraError):
+            ConsistentHashRing().owner("key")
+
+
+class TestShardedServer:
+    def test_roundtrip_through_routing(self, sharded):
+        for i in range(60):
+            sharded.put(f"key{i}", f"value{i}".encode())
+        for i in range(60):
+            assert sharded.get(f"key{i}") == f"value{i}".encode()
+
+    def test_objects_actually_distributed(self, sharded):
+        for i in range(120):
+            sharded.put(f"key{i}", b"x")
+        counts = sharded.object_counts()
+        assert sum(counts.values()) == 120
+        assert sum(1 for count in counts.values() if count > 0) == 3
+
+    def test_shard_policies_stay_independent(self, sharded):
+        sharded.put("some-key", b"v")
+        owner = sharded.shard_of("some-key")
+        meta = sharded.stat("some-key")
+        assert meta.locations  # placed by that shard's own policy
+        assert sharded.shards[owner].contains("some-key")
+
+    def test_add_shard_migrates_minimum(self, registry, sharded):
+        for i in range(150):
+            sharded.put(f"key{i}", f"v{i}".encode())
+        moved = sharded.add_shard("d", make_shard(registry, "d"))
+        # Roughly 1/4 of the keys should move — and never the majority.
+        assert 0 < moved < 100
+        for i in range(150):
+            assert sharded.get(f"key{i}") == f"v{i}".encode()
+
+    def test_remove_shard_drains(self, registry, sharded):
+        for i in range(100):
+            sharded.put(f"key{i}", b"v", tags=("keep",))
+        victim = sharded.shard_of("key0")
+        moved = sharded.remove_shard(victim)
+        assert moved > 0
+        assert victim not in sharded.shards
+        for i in range(100):
+            assert sharded.get(f"key{i}") == b"v"
+        # Tags survive migration.
+        assert "keep" in sharded.stat("key0").tags
+
+    def test_cannot_remove_last_shard(self, registry):
+        single = ShardedTieraServer({"only": make_shard(registry, "only")})
+        with pytest.raises(TieraError):
+            single.remove_shard("only")
+
+    def test_delete_routes(self, sharded):
+        sharded.put("k", b"v")
+        sharded.delete("k")
+        assert not sharded.contains("k")

@@ -1,0 +1,70 @@
+"""TierSet ordering/mutation and Action descriptors."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.errors import UnknownTierError
+from repro.core.objects import ObjectMeta
+from repro.core.tierset import TierSet
+
+
+class TestTierSet:
+    def test_declaration_order_preserved(self, registry):
+        tiers = TierSet(
+            [
+                registry.create("Memcached", tier_name="fast", size=100),
+                registry.create("EBS", tier_name="mid", size=100),
+                registry.create("S3", tier_name="slow", size=None),
+            ]
+        )
+        assert tiers.names() == ["fast", "mid", "slow"]
+        assert tiers.first().name == "fast"
+        assert [t.name for t in tiers.ordered()] == ["fast", "mid", "slow"]
+
+    def test_duplicate_rejected(self, registry):
+        tiers = TierSet([registry.create("S3", tier_name="a", size=None)])
+        with pytest.raises(ValueError):
+            tiers.add(registry.create("S3", tier_name="a", size=None))
+
+    def test_remove_and_contains(self, registry):
+        tiers = TierSet(
+            [
+                registry.create("Memcached", tier_name="a", size=1),
+                registry.create("EBS", tier_name="b", size=1),
+            ]
+        )
+        removed = tiers.remove("a")
+        assert removed.name == "a"
+        assert "a" not in tiers
+        assert len(tiers) == 1
+
+    def test_unknown_lookups(self, registry):
+        tiers = TierSet([])
+        with pytest.raises(UnknownTierError):
+            tiers.get("nope")
+        with pytest.raises(UnknownTierError):
+            tiers.remove("nope")
+        with pytest.raises(UnknownTierError):
+            tiers.first()
+
+
+class TestAction:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            Action(kind="mutate", key="k")
+
+    def test_size_of_payload(self):
+        action = Action(kind="insert", key="k", data=b"12345")
+        assert action.size == 5
+        assert Action(kind="get", key="k").size == 0
+
+    def test_repr_mentions_target(self):
+        action = Action(
+            kind="insert", key="k", meta=ObjectMeta(key="k"), tier="tier1"
+        )
+        assert "into=tier1" in repr(action)
+
+    def test_bookkeeping_defaults(self):
+        action = Action(kind="insert", key="k", data=b"x")
+        assert action.placed is False
+        assert action.stored_in == set()

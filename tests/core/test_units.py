@@ -1,0 +1,66 @@
+"""Size parsing and formatting."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.units import format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("5G", 5 * 1024 ** 3),
+            ("200M", 200 * 1024 ** 2),
+            ("64K", 64 * 1024),
+            ("1T", 1024 ** 4),
+            ("10GB", 10 * 1024 ** 3),
+            ("512B", 512),
+            ("1.5M", int(1.5 * 1024 ** 2)),
+            ("123", 123),
+            (" 2g ", 2 * 1024 ** 3),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_whole_float(self):
+        assert parse_size(8.0) == 8
+
+    @pytest.mark.parametrize("text", ["", "big", "-5G", "1.5.2M"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(2.5)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (5 * 1024 ** 3, "5G"),
+            (200 * 1024 ** 2, "200M"),
+            (64 * 1024, "64K"),
+            (512, "512B"),
+            (int(1.5 * 1024 ** 2), "1.5M"),
+        ],
+    )
+    def test_values(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    @given(st.integers(min_value=0, max_value=2 ** 50))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_within_rounding(self, nbytes):
+        """format → parse lands within 5% (one decimal of precision)."""
+        parsed = parse_size(format_size(nbytes))
+        assert abs(parsed - nbytes) <= max(0.05 * nbytes, 1)

@@ -1,0 +1,69 @@
+"""DedupFileSystem over a storeOnce instance (the Figure 12 client)."""
+
+import pytest
+
+from repro.core.server import TieraServer
+from repro.core.templates import dedup_instance
+from repro.fs.dedupfs import DedupFileSystem
+
+
+@pytest.fixture
+def dedupfs(registry):
+    instance = dedup_instance(registry, mem="64K")
+    return DedupFileSystem(TieraServer(instance))
+
+
+class TestDedupFS:
+    def test_duplicate_blocks_stored_once(self, dedupfs):
+        block = bytes(range(256)) * 16  # exactly 4 KB
+        with dedupfs.open("/f", "w") as handle:
+            handle.write(block * 4)  # four identical blocks
+        stats = dedupfs.dedup_stats()
+        # 1 canonical data block + 3 aliases (+ the inode object).
+        assert stats["aliased_objects"] == 3
+        assert stats["savings"] > 0.5
+
+    def test_distinct_blocks_kept(self, dedupfs):
+        with dedupfs.open("/f", "w") as handle:
+            handle.write(bytes([1]) * 4096 + bytes([2]) * 4096)
+        stats = dedupfs.dedup_stats()
+        assert stats["aliased_objects"] == 0
+
+    def test_cross_file_dedup(self, dedupfs):
+        block = b"\x07" * 4096
+        for path in ("/a", "/b", "/c"):
+            with dedupfs.open(path, "w") as handle:
+                handle.write(block)
+        assert dedupfs.dedup_stats()["aliased_objects"] == 2
+        # Every file still reads its own content back.
+        for path in ("/a", "/b", "/c"):
+            with dedupfs.open(path, "r") as handle:
+                assert handle.read() == block
+
+    def test_s3_put_count_reflects_dedup(self, dedupfs):
+        s3 = dedupfs.server.instance.tiers.get("tier2").service
+        block = b"\x09" * 4096
+        with dedupfs.open("/f", "w") as handle:
+            handle.write(block * 8)
+        # Only one data block reached S3 (plus inode-object updates).
+        assert s3.put_requests <= 3
+
+    def test_unlink_alias_preserves_canonical(self, dedupfs):
+        block = b"\x0a" * 4096
+        with dedupfs.open("/a", "w") as handle:
+            handle.write(block)
+        with dedupfs.open("/b", "w") as handle:
+            handle.write(block)
+        dedupfs.unlink("/b")
+        with dedupfs.open("/a", "r") as handle:
+            assert handle.read() == block
+
+    def test_unlink_canonical_promotes_alias(self, dedupfs):
+        block = b"\x0b" * 4096
+        with dedupfs.open("/a", "w") as handle:
+            handle.write(block)
+        with dedupfs.open("/b", "w") as handle:
+            handle.write(block)
+        dedupfs.unlink("/a")
+        with dedupfs.open("/b", "r") as handle:
+            assert handle.read() == block

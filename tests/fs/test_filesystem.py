@@ -1,0 +1,196 @@
+"""TieraFileSystem: chunking, buffering, namespace ops, persistence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.server import TieraServer
+from repro.fs.filesystem import FileSystemError, TieraFileSystem
+from repro.simcloud.resources import RequestContext
+from tests.core.conftest import build_instance
+
+
+@pytest.fixture
+def fs(registry):
+    instance = build_instance(
+        registry,
+        [("tier1", "Memcached", 10 ** 8), ("tier2", "EBS", 10 ** 8)],
+    )
+    return TieraFileSystem(TieraServer(instance))
+
+
+class TestBasicIO:
+    def test_write_read_roundtrip(self, fs):
+        with fs.open("/f", "w") as handle:
+            handle.write(b"hello world")
+        with fs.open("/f", "r") as handle:
+            assert handle.read() == b"hello world"
+
+    def test_read_across_block_boundary(self, fs):
+        payload = bytes(range(256)) * 64  # 16 KB
+        with fs.open("/f", "w") as handle:
+            handle.write(payload)
+        with fs.open("/f", "r") as handle:
+            handle.seek(4000)
+            assert handle.read(200) == payload[4000:4200]
+
+    def test_partial_overwrite(self, fs):
+        with fs.open("/f", "w") as handle:
+            handle.write(b"a" * 10000)
+        with fs.open("/f", "r+") as handle:
+            handle.seek(5000)
+            handle.write(b"B" * 10)
+        with fs.open("/f", "r") as handle:
+            data = handle.read()
+        assert data[4999:5011] == b"a" + b"B" * 10 + b"a"
+
+    def test_sparse_read_returns_zeros(self, fs):
+        with fs.open("/f", "w") as handle:
+            handle.seek(9000)
+            handle.write(b"end")
+        with fs.open("/f", "r") as handle:
+            head = handle.read(10)
+        assert head == b"\x00" * 10
+
+    def test_append_mode(self, fs):
+        with fs.open("/f", "w") as handle:
+            handle.write(b"one")
+        with fs.open("/f", "a") as handle:
+            handle.write(b"two")
+        with fs.open("/f", "r") as handle:
+            assert handle.read() == b"onetwo"
+
+    def test_w_truncates(self, fs):
+        with fs.open("/f", "w") as handle:
+            handle.write(b"long content here")
+        with fs.open("/f", "w") as handle:
+            handle.write(b"x")
+        assert fs.size_of("/f") == 1
+
+    def test_seek_whence(self, fs):
+        with fs.open("/f", "w") as handle:
+            handle.write(b"0123456789")
+            handle.seek(-3, 2)
+            assert handle.read() == b"789"
+            handle.seek(2)
+            handle.seek(3, 1)
+            assert handle.tell() == 5
+
+    def test_read_only_handle_rejects_write(self, fs):
+        fs.open("/f", "w").close()
+        handle = fs.open("/f", "r")
+        with pytest.raises(FileSystemError):
+            handle.write(b"no")
+
+    def test_closed_handle_rejects_io(self, fs):
+        handle = fs.open("/f", "w")
+        handle.close()
+        with pytest.raises(FileSystemError):
+            handle.read()
+
+    def test_truncate(self, fs):
+        with fs.open("/f", "w") as handle:
+            handle.write(b"x" * 10000)
+        with fs.open("/f", "r+") as handle:
+            handle.truncate(100)
+        assert fs.size_of("/f") == 100
+
+
+class TestBuffering:
+    def test_writes_buffered_until_flush(self, fs):
+        handle = fs.open("/f", "w")
+        handle.write(b"x" * 4096)
+        # Nothing in Tiera yet (the block is in the dirty buffer).
+        assert not fs.server.contains("/f\x000")
+        handle.flush()
+        assert fs.server.contains("/f\x000")
+        handle.close()
+
+    def test_fsync_aliases_flush(self, fs):
+        handle = fs.open("/f", "w")
+        handle.write(b"y")
+        handle.fsync()
+        assert fs.server.contains("/f\x000")
+        handle.close()
+
+    def test_read_sees_own_buffered_writes(self, fs):
+        handle = fs.open("/f", "w+")
+        handle.write(b"buffered")
+        handle.seek(0)
+        assert handle.read() == b"buffered"
+        handle.close()
+
+
+class TestNamespace:
+    def test_open_missing_for_read_fails(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.open("/ghost", "r")
+
+    def test_unsupported_mode(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.open("/f", "rb")
+
+    def test_exists_listdir(self, fs):
+        fs.open("/a", "w").close()
+        fs.open("/b", "w").close()
+        assert fs.exists("/a")
+        assert fs.listdir() == ["/a", "/b"]
+
+    def test_unlink_removes_blocks(self, fs):
+        with fs.open("/f", "w") as handle:
+            handle.write(b"x" * 10000)
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        assert fs.server.keys() == []  # inode and blocks gone
+
+    def test_unlink_missing(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.unlink("/ghost")
+
+    def test_rename(self, fs):
+        with fs.open("/old", "w") as handle:
+            handle.write(b"content")
+        fs.rename("/old", "/new")
+        assert not fs.exists("/old")
+        with fs.open("/new", "r") as handle:
+            assert handle.read() == b"content"
+
+    def test_rename_over_existing_fails(self, fs):
+        fs.open("/a", "w").close()
+        fs.open("/b", "w").close()
+        with pytest.raises(FileSystemError):
+            fs.rename("/a", "/b")
+
+
+class TestPersistence:
+    def test_files_survive_fs_reattach(self, registry):
+        instance = build_instance(
+            registry, [("tier1", "EBS", 10 ** 8)], name="p"
+        )
+        server = TieraServer(instance)
+        fs1 = TieraFileSystem(server)
+        with fs1.open("/f", "w") as handle:
+            handle.write(b"durable bytes")
+        # A new gateway over the same instance recovers the namespace.
+        fs2 = TieraFileSystem(server)
+        assert fs2.exists("/f")
+        with fs2.open("/f", "r") as handle:
+            assert handle.read() == b"durable bytes"
+
+
+class TestPropertyRoundtrip:
+    @given(
+        chunks=st.lists(st.binary(min_size=1, max_size=9000), min_size=1, max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sequential_writes_concatenate(self, chunks):
+        from repro.simcloud.cluster import Cluster
+        from repro.tiers.registry import TierRegistry
+
+        registry = TierRegistry(Cluster(seed=9))
+        instance = build_instance(registry, [("t", "Memcached", 10 ** 8)])
+        fs = TieraFileSystem(TieraServer(instance))
+        with fs.open("/f", "w") as handle:
+            for chunk in chunks:
+                handle.write(chunk)
+        with fs.open("/f", "r") as handle:
+            assert handle.read() == b"".join(chunks)

@@ -1,0 +1,82 @@
+"""Failure injection beyond the Figure 17 scenario."""
+
+import pytest
+
+from repro.core.errors import TierUnavailableError
+from repro.core.server import TieraServer
+from repro.core.templates import (
+    high_durability_instance,
+    memcached_replicated_instance,
+    persistent_instance,
+)
+from repro.simcloud.errors import ServiceUnavailableError
+
+
+class TestS3Outage:
+    """The 2008 S3 outage ([2] in the paper): the backup target dies."""
+
+    def test_backup_failure_does_not_break_clients(self, registry, cluster):
+        instance = high_durability_instance(registry, push_interval=60)
+        server = TieraServer(instance)
+        instance.tiers.get("tier3").service.fail()  # S3 down
+        server.put("k", b"v")  # foreground path: Memcached + EBS
+        assert server.get("k") == b"v"
+        cluster.clock.advance(61)  # the S3 push fires and fails...
+        # ...but is swallowed as a background error, not a crash.
+        assert instance.control.background_errors
+        assert server.get("k") == b"v"
+
+    def test_backups_resume_after_recovery(self, registry, cluster):
+        instance = high_durability_instance(registry, push_interval=60)
+        server = TieraServer(instance)
+        s3 = instance.tiers.get("tier3").service
+        s3.fail()
+        server.put("k", b"v")
+        cluster.clock.advance(61)
+        assert "tier3" not in instance.meta("k").locations
+        s3.recover()
+        cluster.clock.advance(60)
+        assert "tier3" in instance.meta("k").locations
+
+
+class TestZoneFailure:
+    def test_replicated_instance_survives_a_zone(self, registry, cluster):
+        instance = memcached_replicated_instance(registry, mem="1M")
+        server = TieraServer(instance)
+        server.put("k", b"v")
+        # The whole us-east-1a zone goes dark: every node in it fails.
+        for node in cluster.nodes.values():
+            if node.zone.name == "us-east-1a":
+                node.fail()
+        assert server.get("k") == b"v"  # served from us-east-1b
+
+    def test_both_zones_down_is_fatal(self, registry, cluster):
+        instance = memcached_replicated_instance(registry, mem="1M")
+        server = TieraServer(instance)
+        server.put("k", b"v")
+        for node in cluster.nodes.values():
+            node.fail()
+        with pytest.raises(TierUnavailableError):
+            server.get("k")
+
+
+class TestForegroundFailurePropagation:
+    def test_write_through_put_fails_loudly(self, registry):
+        instance = persistent_instance(registry, mem="1M", ebs="1M")
+        server = TieraServer(instance)
+        instance.tiers.get("tier2").service.fail()
+        # The Figure 4 write-through copy is foreground: the client sees
+        # the EBS failure instead of silently losing durability.
+        with pytest.raises(ServiceUnavailableError):
+            server.put("k", b"v")
+
+    def test_failed_put_charges_the_timeout(self, registry):
+        instance = persistent_instance(registry, mem="1M", ebs="1M")
+        server = TieraServer(instance)
+        instance.tiers.get("tier2").service.fail()
+        from repro.simcloud.resources import RequestContext
+
+        ctx = RequestContext(instance.clock)
+        with pytest.raises(ServiceUnavailableError):
+            server.put("k", b"v", ctx=ctx)
+        assert ctx.elapsed >= instance.tiers.get("tier2").service.timeout

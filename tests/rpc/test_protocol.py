@@ -1,0 +1,66 @@
+"""Wire-protocol framing unit tests (socketpair, no server needed)."""
+
+import socket
+
+import pytest
+
+from repro.rpc.protocol import (
+    MAX_FRAME,
+    decode_bytes,
+    encode_bytes,
+    read_frame,
+    write_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        message = {"id": 1, "method": "put", "params": {"key": "k"}}
+        write_frame(a, message)
+        assert read_frame(b) == message
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            write_frame(a, {"id": i})
+        for i in range(5):
+            assert read_frame(b) == {"id": i}
+
+    def test_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert read_frame(b) is None
+
+    def test_oversized_frame_rejected_on_read(self, pair):
+        a, b = pair
+        a.sendall((MAX_FRAME + 1).to_bytes(4, "big"))
+        with pytest.raises(ValueError):
+            read_frame(b)
+
+    def test_oversized_frame_rejected_on_write(self, pair):
+        a, _ = pair
+        with pytest.raises(ValueError):
+            write_frame(a, {"blob": "x" * (MAX_FRAME + 10)})
+
+    def test_unicode_payloads(self, pair):
+        a, b = pair
+        write_frame(a, {"text": "héllo ☃"})
+        assert read_frame(b) == {"text": "héllo ☃"}
+
+
+class TestBytesCodec:
+    def test_roundtrip(self):
+        blob = bytes(range(256))
+        assert decode_bytes(encode_bytes(blob)) == blob
+
+    def test_empty(self):
+        assert decode_bytes(encode_bytes(b"")) == b""

@@ -1,0 +1,127 @@
+"""RPC server/client over real sockets (WallClock instances)."""
+
+import threading
+
+import pytest
+
+from repro.core.instance import TieraInstance
+from repro.core.policy import Policy, Rule
+from repro.core.events import ActionEvent
+from repro.core.responses import Store
+from repro.core.selectors import InsertObject
+from repro.core.server import TieraServer
+from repro.rpc import RpcError, TieraClient, TieraRpcServer
+from repro.simcloud.clock import WallClock
+from repro.simcloud.cluster import Cluster
+from repro.tiers.registry import TierRegistry
+
+
+@pytest.fixture
+def live_server():
+    clock = WallClock()
+    cluster = Cluster(clock=clock)
+    registry = TierRegistry(cluster)
+    tiers = [
+        registry.create("Memcached", tier_name="tier1", size=64 * 1024 * 1024),
+        registry.create("EBS", tier_name="tier2", size=64 * 1024 * 1024),
+    ]
+    instance = TieraInstance(
+        name="rpc-test",
+        tiers=tiers,
+        policy=Policy([
+            Rule(
+                ActionEvent("insert"),
+                [Store(InsertObject(), ("tier1", "tier2"))],
+                name="write-through",
+            )
+        ]),
+        clock=clock,
+    )
+    rpc = TieraRpcServer(TieraServer(instance), port=0).start()
+    yield rpc
+    rpc.stop()
+    instance.shutdown()
+    clock.shutdown()
+
+
+@pytest.fixture
+def client(live_server):
+    with TieraClient(live_server.host, live_server.port) as conn:
+        yield conn
+
+
+class TestRpcRoundtrip:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_put_get(self, client):
+        latency = client.put("k", b"remote bytes")
+        assert latency >= 0
+        assert client.get("k") == b"remote bytes"
+
+    def test_binary_safety(self, client):
+        payload = bytes(range(256)) * 8
+        client.put("bin", payload)
+        assert client.get("bin") == payload
+
+    def test_delete_and_contains(self, client):
+        client.put("k", b"v")
+        assert client.contains("k")
+        client.delete("k")
+        assert not client.contains("k")
+
+    def test_stat(self, client):
+        client.put("k", b"hello", tags=["web"])
+        stat = client.stat("k")
+        assert stat["size"] == 5
+        assert stat["tags"] == ["web"]
+        assert sorted(stat["locations"]) == ["tier1", "tier2"]
+
+    def test_tags_and_keys(self, client):
+        client.put("a", b"1", tags=["x"])
+        client.put("b", b"2")
+        client.add_tag("b", "x")
+        assert client.keys(tag="x") == ["a", "b"]
+        assert client.keys() == ["a", "b"]
+
+    def test_tiers_listing(self, client):
+        tiers = client.tiers()
+        assert [t["name"] for t in tiers] == ["tier1", "tier2"]
+        assert all(t["available"] for t in tiers)
+
+    def test_missing_key_error(self, client):
+        with pytest.raises(RpcError) as excinfo:
+            client.get("ghost")
+        assert excinfo.value.error_type == "NoSuchObjectError"
+
+    def test_unknown_method(self, live_server, client):
+        with pytest.raises(RpcError) as excinfo:
+            client._call("explode")
+        assert excinfo.value.error_type == "UnknownMethod"
+
+
+class TestConcurrency:
+    def test_parallel_clients(self, live_server):
+        errors = []
+
+        def worker(worker_id):
+            try:
+                with TieraClient(live_server.host, live_server.port) as conn:
+                    for i in range(20):
+                        key = f"w{worker_id}-{i}"
+                        conn.put(key, key.encode())
+                        assert conn.get(key) == key.encode()
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+
+    def test_sequential_requests_one_connection(self, client):
+        for i in range(50):
+            client.put(f"k{i}", b"x")
+        assert len(client.keys()) == 50

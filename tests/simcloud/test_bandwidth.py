@@ -1,0 +1,69 @@
+"""Bandwidth caps and bandwidth-string parsing."""
+
+import pytest
+
+from repro.simcloud.bandwidth import BandwidthCap, cap_from, parse_bandwidth
+
+
+class TestParseBandwidth:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("40KB/s", 40 * 1024),
+            ("40KB", 40 * 1024),
+            ("1MB/s", 1024 * 1024),
+            ("2GB/s", 2 * 1024 ** 3),
+            ("512B/s", 512),
+            ("1.5MB/s", int(1.5 * 1024 * 1024)),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_bandwidth(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "fast", "KB/s", "-3KB/s", "0MB/s"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_bandwidth(text)
+
+
+class TestBandwidthCap:
+    def test_first_transfer_starts_immediately(self):
+        cap = BandwidthCap(1000)
+        assert cap.next_start(5.0, 500) == 5.0
+
+    def test_pacing_accumulates(self):
+        cap = BandwidthCap(1000)  # 1000 B/s
+        assert cap.next_start(0.0, 1000) == 0.0   # books [0, 1)
+        assert cap.next_start(0.0, 1000) == 1.0   # paced out
+        assert cap.next_start(0.0, 1000) == 2.0
+
+    def test_idle_time_is_not_banked(self):
+        cap = BandwidthCap(1000)
+        cap.next_start(0.0, 1000)
+        # Asking at t=100 (long idle): starts immediately, no credit.
+        assert cap.next_start(100.0, 1000) == 100.0
+
+    def test_reset(self):
+        cap = BandwidthCap(1000)
+        cap.next_start(0.0, 5000)
+        cap.reset()
+        assert cap.next_start(0.0, 100) == 0.0
+
+    def test_positive_rate_required(self):
+        with pytest.raises(ValueError):
+            BandwidthCap(0)
+
+
+class TestCapFrom:
+    def test_none_passthrough(self):
+        assert cap_from(None) is None
+
+    def test_number(self):
+        assert cap_from(2048).bytes_per_second == 2048
+
+    def test_string(self):
+        assert cap_from("40KB/s").bytes_per_second == 40 * 1024
+
+    def test_cap_passthrough(self):
+        cap = BandwidthCap(10)
+        assert cap_from(cap) is cap

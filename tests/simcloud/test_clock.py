@@ -1,0 +1,147 @@
+"""SimClock: ordering, cancellation, repetition; WallClock basics."""
+
+import pytest
+
+from repro.simcloud.clock import SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance_moves_time(self, clock):
+        clock.advance(5.5)
+        assert clock.now() == 5.5
+
+    def test_cannot_run_backwards(self, clock):
+        clock.advance(10)
+        with pytest.raises(ValueError):
+            clock.run_until(5)
+
+    def test_cannot_schedule_in_past(self, clock):
+        with pytest.raises(ValueError):
+            clock.schedule(-1, lambda: None)
+
+    def test_callbacks_fire_in_time_order(self, clock):
+        fired = []
+        clock.schedule(3, lambda: fired.append("c"))
+        clock.schedule(1, lambda: fired.append("a"))
+        clock.schedule(2, lambda: fired.append("b"))
+        clock.advance(5)
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_timestamps_fire_fifo(self, clock):
+        fired = []
+        for name in "abc":
+            clock.schedule(1, lambda n=name: fired.append(n))
+        clock.advance(1)
+        assert fired == ["a", "b", "c"]
+
+    def test_callback_sees_its_own_fire_time(self, clock):
+        seen = []
+        clock.schedule(4, lambda: seen.append(clock.now()))
+        clock.advance(10)
+        assert seen == [4.0]
+
+    def test_cancelled_callback_does_not_fire(self, clock):
+        fired = []
+        handle = clock.schedule(1, lambda: fired.append(1))
+        handle.cancel()
+        clock.advance(2)
+        assert fired == []
+
+    def test_callback_may_schedule_more(self, clock):
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.schedule(1, lambda: fired.append("second"))
+
+        clock.schedule(1, first)
+        clock.advance(3)
+        assert fired == ["first", "second"]
+
+    def test_run_until_only_fires_due_events(self, clock):
+        fired = []
+        clock.schedule(1, lambda: fired.append(1))
+        clock.schedule(5, lambda: fired.append(5))
+        clock.run_until(3)
+        assert fired == [1]
+        assert clock.now() == 3
+
+    def test_pending_counts_live_events(self, clock):
+        h1 = clock.schedule(1, lambda: None)
+        clock.schedule(2, lambda: None)
+        assert clock.pending() == 2
+        h1.cancel()
+        assert clock.pending() == 1
+
+    def test_next_event_time_skips_cancelled(self, clock):
+        h1 = clock.schedule(1, lambda: None)
+        clock.schedule(2, lambda: None)
+        h1.cancel()
+        assert clock.next_event_time() == 2
+
+    def test_next_event_time_empty(self, clock):
+        assert clock.next_event_time() is None
+
+    def test_run_all_drains(self, clock):
+        fired = []
+        clock.schedule(1, lambda: fired.append(1))
+        clock.schedule(7, lambda: fired.append(7))
+        clock.run_all()
+        assert fired == [1, 7]
+        assert clock.now() == 7
+
+    def test_run_all_bounds_runaway(self, clock):
+        def reschedule():
+            clock.schedule(1, reschedule)
+
+        clock.schedule(1, reschedule)
+        with pytest.raises(RuntimeError):
+            clock.run_all(limit=100)
+
+
+class TestRepeating:
+    def test_repeats_every_interval(self, clock):
+        fired = []
+        clock.schedule_repeating(10, lambda: fired.append(clock.now()))
+        clock.advance(35)
+        assert fired == [10, 20, 30]
+
+    def test_cancel_stops_repetition(self, clock):
+        fired = []
+        handle = clock.schedule_repeating(10, lambda: fired.append(clock.now()))
+        clock.advance(15)
+        handle.cancel()
+        clock.advance(30)
+        assert fired == [10]
+
+    def test_zero_interval_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.schedule_repeating(0, lambda: None)
+
+
+class TestWallClock:
+    def test_time_moves_forward(self):
+        wall = WallClock()
+        t0 = wall.now()
+        assert wall.now() >= t0
+
+    def test_schedule_fires(self):
+        import threading
+
+        wall = WallClock()
+        done = threading.Event()
+        wall.schedule(0.01, done.set)
+        assert done.wait(timeout=2.0)
+        wall.shutdown()
+
+    def test_shutdown_cancels(self):
+        import threading
+
+        wall = WallClock()
+        done = threading.Event()
+        wall.schedule(0.2, done.set)
+        wall.shutdown()
+        assert not done.wait(timeout=0.4)

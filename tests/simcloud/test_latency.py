@@ -1,0 +1,81 @@
+"""Latency models: shapes, determinism, parameter validation."""
+
+import random
+
+import pytest
+
+from repro.simcloud.latency import (
+    FixedLatency,
+    LognormalLatency,
+    SizeDependentLatency,
+    blockstore_latency,
+    memcached_latency,
+    objectstore_latency,
+)
+
+
+class TestFixedLatency:
+    def test_constant(self):
+        model = FixedLatency(0.005)
+        rng = random.Random(1)
+        assert model.sample(rng) == 0.005
+        assert model.sample(rng, 10_000) == 0.005
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1)
+
+
+class TestLognormalLatency:
+    def test_median_is_roughly_respected(self):
+        model = LognormalLatency(0.010, sigma=0.4)
+        rng = random.Random(7)
+        samples = sorted(model.sample(rng) for _ in range(4001))
+        median = samples[len(samples) // 2]
+        assert 0.008 < median < 0.012
+
+    def test_sigma_zero_is_deterministic(self):
+        model = LognormalLatency(0.010, sigma=0.0)
+        assert model.sample(random.Random(1)) == 0.010
+
+    def test_samples_positive(self):
+        model = LognormalLatency(0.001, sigma=1.0)
+        rng = random.Random(3)
+        assert all(model.sample(rng) > 0 for _ in range(100))
+
+    def test_seeded_rng_reproduces(self):
+        model = LognormalLatency(0.010)
+        a = [model.sample(random.Random(5)) for _ in range(3)]
+        b = [model.sample(random.Random(5)) for _ in range(3)]
+        assert a == b
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(0)
+        with pytest.raises(ValueError):
+            LognormalLatency(0.01, sigma=-1)
+
+
+class TestSizeDependentLatency:
+    def test_adds_transfer_time(self):
+        model = SizeDependentLatency(FixedLatency(0.001), bytes_per_second=1000)
+        assert model.sample(random.Random(1), 500) == pytest.approx(0.501)
+
+    def test_zero_bytes_is_base_only(self):
+        model = SizeDependentLatency(FixedLatency(0.002), bytes_per_second=1e9)
+        assert model.sample(random.Random(1), 0) == pytest.approx(0.002)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            SizeDependentLatency(FixedLatency(0.001), bytes_per_second=0)
+
+
+class TestServiceOrdering:
+    def test_tiers_keep_their_latency_ordering(self):
+        """Memcached << EBS << S3 — the premise of the whole paper."""
+        rng = random.Random(11)
+        mc = sum(memcached_latency().sample(rng, 4096) for _ in range(300))
+        ebs = sum(blockstore_latency().sample(rng, 4096) for _ in range(300))
+        s3 = sum(objectstore_latency().sample(rng, 4096) for _ in range(300))
+        assert mc < ebs / 3
+        assert ebs < s3 / 3

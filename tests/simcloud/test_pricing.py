@@ -1,0 +1,47 @@
+"""Price book and cost meter."""
+
+import pytest
+
+from repro.simcloud.pricing import CostMeter, PriceBook
+
+GB = 1024 ** 3
+
+
+class TestPriceBook:
+    def test_storage_ordering(self):
+        """The paper's premise: memory ≫ EBS ≫ S3 per GB."""
+        book = PriceBook()
+        assert book.memcached_gb_month > 100 * book.ebs_gb_month
+        assert book.ebs_gb_month > 2 * book.s3_gb_month
+        assert book.ephemeral_gb_month == 0.0
+
+    def test_monthly_storage_cost(self):
+        book = PriceBook()
+        assert book.monthly_storage_cost("ebs", 8 * GB) == pytest.approx(0.80)
+        assert book.monthly_storage_cost("s3", GB) == pytest.approx(0.03)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            PriceBook().storage_rate("floppy")
+
+
+class TestCostMeter:
+    def test_request_charges(self):
+        meter = CostMeter()
+        meter.record("s3.put", 1000)
+        meter.record("s3.get", 10000)
+        meter.record("ebs.read", 1_000_000)
+        assert meter.request_charges() == pytest.approx(0.005 + 0.004 + 0.10)
+
+    def test_counts_accumulate(self):
+        meter = CostMeter()
+        meter.record("s3.put")
+        meter.record("s3.put", 4)
+        assert meter.count("s3.put") == 5
+        assert meter.count("never") == 0
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.record("s3.put", 7)
+        meter.reset()
+        assert meter.count("s3.put") == 0

@@ -1,0 +1,256 @@
+"""Simulated storage services: data paths, capacity, failure modes."""
+
+import pytest
+
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.errors import (
+    CapacityExceededError,
+    NoSuchKeyError,
+    ServiceUnavailableError,
+)
+from repro.simcloud.latency import FixedLatency
+from repro.simcloud.resources import RequestContext
+from repro.simcloud.services import (
+    SimBlockVolume,
+    SimEphemeralDisk,
+    SimMemcached,
+    SimObjectStore,
+)
+
+
+@pytest.fixture
+def env(cluster):
+    node = cluster.add_node("svc-node")
+    return cluster, node
+
+
+def make(cls, env, **kwargs):
+    cluster, node = env
+    kwargs.setdefault("latency", FixedLatency(0.001))
+    return cls(
+        name="svc", node=node, clock=cluster.clock, rng=cluster.rng, **kwargs
+    )
+
+
+def ctx_for(env):
+    return RequestContext(env[0].clock)
+
+
+class TestBasicStorage:
+    @pytest.mark.parametrize(
+        "cls", [SimMemcached, SimBlockVolume, SimObjectStore, SimEphemeralDisk]
+    )
+    def test_put_get_roundtrip(self, env, cls):
+        svc = make(cls, env)
+        svc.put("k", b"value", ctx_for(env))
+        assert svc.get("k", ctx_for(env)) == b"value"
+
+    def test_get_missing_raises(self, env):
+        svc = make(SimBlockVolume, env)
+        with pytest.raises(NoSuchKeyError):
+            svc.get("nope", ctx_for(env))
+
+    def test_delete_frees_space(self, env):
+        svc = make(SimBlockVolume, env, capacity=100)
+        svc.put("k", b"x" * 60, ctx_for(env))
+        svc.delete("k", ctx_for(env))
+        assert svc.used == 0
+        svc.put("k2", b"y" * 80, ctx_for(env))  # fits again
+
+    def test_delete_missing_raises(self, env):
+        svc = make(SimBlockVolume, env)
+        with pytest.raises(NoSuchKeyError):
+            svc.delete("nope", ctx_for(env))
+
+    def test_overwrite_adjusts_usage(self, env):
+        svc = make(SimBlockVolume, env, capacity=1000)
+        svc.put("k", b"x" * 100, ctx_for(env))
+        svc.put("k", b"y" * 40, ctx_for(env))
+        assert svc.used == 40
+
+    def test_capacity_enforced(self, env):
+        svc = make(SimBlockVolume, env, capacity=50)
+        with pytest.raises(CapacityExceededError):
+            svc.put("k", b"x" * 51, ctx_for(env))
+
+    def test_rejected_put_spends_no_time(self, env):
+        svc = make(SimBlockVolume, env, capacity=50)
+        ctx = ctx_for(env)
+        with pytest.raises(CapacityExceededError):
+            svc.put("k", b"x" * 51, ctx)
+        assert ctx.elapsed == 0
+
+    def test_resize_below_usage_refused(self, env):
+        svc = make(SimBlockVolume, env, capacity=100)
+        svc.put("k", b"x" * 80, ctx_for(env))
+        with pytest.raises(CapacityExceededError):
+            svc.resize(50)
+
+    def test_operations_charge_time(self, env):
+        svc = make(SimBlockVolume, env)
+        ctx = ctx_for(env)
+        svc.put("k", b"v", ctx)
+        # Writes carry the EBS sync-write multiplier.
+        assert ctx.elapsed == pytest.approx(0.001 * svc.write_multiplier)
+
+    def test_op_counters(self, env):
+        svc = make(SimObjectStore, env)
+        svc.put("a", b"1", ctx_for(env))
+        svc.get("a", ctx_for(env))
+        try:
+            svc.get("b", ctx_for(env))
+        except NoSuchKeyError:
+            pass
+        assert svc.put_requests == 1
+        assert svc.get_requests == 2  # hit + miss both billed
+
+    def test_meter_records_by_kind(self, env, meter):
+        cluster, node = env
+        svc = SimObjectStore(
+            name="s3", node=node, clock=cluster.clock, rng=cluster.rng, meter=meter
+        )
+        svc.put("a", b"1", ctx_for(env))
+        assert meter.count("s3.put") == 1
+
+
+class TestFailureInjection:
+    def test_failed_service_times_out(self, env):
+        svc = make(SimBlockVolume, env)
+        svc.fail()
+        ctx = ctx_for(env)
+        with pytest.raises(ServiceUnavailableError):
+            svc.put("k", b"v", ctx)
+        assert ctx.elapsed == pytest.approx(svc.timeout)
+
+    def test_recover_restores_service(self, env):
+        svc = make(SimBlockVolume, env)
+        svc.put("k", b"v", ctx_for(env))
+        svc.fail()
+        svc.recover()
+        assert svc.get("k", ctx_for(env)) == b"v"  # EBS data survives
+
+    def test_memcached_loses_data_on_failure(self, env):
+        svc = make(SimMemcached, env)
+        svc.put("k", b"v", ctx_for(env))
+        svc.fail()
+        svc.recover()
+        with pytest.raises(NoSuchKeyError):
+            svc.get("k", ctx_for(env))
+
+    def test_node_failure_wipes_ephemeral_only(self, env):
+        cluster, node = env
+        eph = make(SimEphemeralDisk, env)
+        ebs = SimBlockVolume(
+            name="vol", node=node, clock=cluster.clock, rng=cluster.rng,
+            latency=FixedLatency(0.001),
+        )
+        eph.put("k", b"v", ctx_for(env))
+        ebs.put("k", b"v", ctx_for(env))
+        node.fail()
+        node.recover()
+        with pytest.raises(NoSuchKeyError):
+            eph.get("k", ctx_for(env))
+        assert ebs.get("k", ctx_for(env)) == b"v"
+
+    def test_node_failure_blocks_all_services(self, env):
+        cluster, node = env
+        svc = make(SimBlockVolume, env)
+        node.fail()
+        with pytest.raises(ServiceUnavailableError):
+            svc.get("k", ctx_for(env))
+
+
+class TestMemcached:
+    def test_lru_eviction_when_enabled(self, env):
+        svc = make(SimMemcached, env, capacity=10, evict_on_full=True)
+        svc.put("a", b"12345", ctx_for(env))
+        svc.put("b", b"12345", ctx_for(env))
+        svc.put("c", b"12345", ctx_for(env))  # evicts a
+        assert not svc.contains("a")
+        assert svc.contains("c")
+        assert svc.evictions == 1
+
+    def test_get_refreshes_lru_order(self, env):
+        svc = make(SimMemcached, env, capacity=10, evict_on_full=True)
+        svc.put("a", b"12345", ctx_for(env))
+        svc.put("b", b"12345", ctx_for(env))
+        svc.get("a", ctx_for(env))
+        svc.put("c", b"12345", ctx_for(env))  # b is now LRU
+        assert svc.contains("a")
+        assert not svc.contains("b")
+
+    def test_reject_when_eviction_disabled(self, env):
+        svc = make(SimMemcached, env, capacity=10)
+        svc.put("a", b"1234567890", ctx_for(env))
+        with pytest.raises(CapacityExceededError):
+            svc.put("b", b"x", ctx_for(env))
+
+    def test_flush_all(self, env):
+        svc = make(SimMemcached, env)
+        svc.put("a", b"1", ctx_for(env))
+        svc.flush_all()
+        assert svc.used == 0
+
+    def test_lru_mru_keys(self, env):
+        svc = make(SimMemcached, env)
+        svc.put("a", b"1", ctx_for(env))
+        svc.put("b", b"1", ctx_for(env))
+        svc.get("a", ctx_for(env))
+        assert svc.lru_key() == "b"
+        assert svc.mru_key() == "a"
+
+
+class TestBlockVolume:
+    def test_snapshot_restore(self, env):
+        svc = make(SimBlockVolume, env)
+        svc.put("k", b"v1", ctx_for(env))
+        svc.snapshot("snap1")
+        svc.put("k", b"v2", ctx_for(env))
+        svc.restore("snap1")
+        assert svc.get("k", ctx_for(env)) == b"v1"
+
+    def test_duplicate_snapshot_rejected(self, env):
+        svc = make(SimBlockVolume, env)
+        svc.snapshot("s")
+        with pytest.raises(ValueError):
+            svc.snapshot("s")
+
+    def test_restore_unknown_snapshot(self, env):
+        svc = make(SimBlockVolume, env)
+        with pytest.raises(KeyError):
+            svc.restore("nope")
+
+
+class TestEphemeral:
+    def test_instance_reboot_wipes(self, env):
+        svc = make(SimEphemeralDisk, env)
+        svc.put("k", b"v", ctx_for(env))
+        svc.instance_reboot()
+        assert svc.used == 0
+
+
+class TestCluster:
+    def test_cross_zone_latency(self):
+        cluster = Cluster()
+        a = cluster.add_node("a", zone="us-east-1a")
+        b = cluster.add_node("b", zone="us-east-1b")
+        c = cluster.add_node("c", zone="us-east-1a")
+        assert cluster.cross_zone_latency(a, b) > 0
+        assert cluster.cross_zone_latency(a, c) == 0
+
+    def test_duplicate_node_rejected(self):
+        cluster = Cluster()
+        cluster.add_node("a")
+        with pytest.raises(ValueError):
+            cluster.add_node("a")
+
+    def test_provisioning_delay(self):
+        cluster = Cluster()
+        ready = []
+        node = cluster.provision_node(delay=60, on_ready=ready.append)
+        assert node.failed  # not booted yet
+        cluster.clock.advance(59)
+        assert node.failed
+        cluster.clock.advance(2)
+        assert not node.failed
+        assert ready == [node]

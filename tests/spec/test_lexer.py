@@ -1,0 +1,88 @@
+"""Lexer: tokens, units, the %-comment/percent disambiguation."""
+
+import pytest
+
+from repro.spec.lexer import SpecSyntaxError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_identifiers_and_punct(self):
+        assert kinds("Tiera Foo { }") == [
+            ("IDENT", "Tiera"), ("IDENT", "Foo"), ("PUNCT", "{"), ("PUNCT", "}"),
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 2.5")
+        assert tokens[0].value == 42
+        assert tokens[1].value == 2.5
+
+    def test_dotted_path_not_confused_with_decimal(self):
+        assert kinds("tier1.filled") == [
+            ("IDENT", "tier1"), ("PUNCT", "."), ("IDENT", "filled"),
+        ]
+
+    def test_operators(self):
+        assert [t.text for t in tokenize("== != <= >= < > = && ||")[:-1]] == [
+            "==", "!=", "<=", ">=", "<", ">", "=", "&&", "||",
+        ]
+
+    def test_strings(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind == "STRING"
+        assert token.value == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\"b"')[0].value == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize("tier1 @ tier2")
+
+
+class TestUnits:
+    @pytest.mark.parametrize(
+        "text,kind,value",
+        [
+            ("5G", "SIZE", 5 * 1024 ** 3),
+            ("200M", "SIZE", 200 * 1024 ** 2),
+            ("64K", "SIZE", 64 * 1024),
+            ("10GB", "SIZE", 10 * 1024 ** 3),
+            ("75%", "PERCENT", 0.75),
+            ("100%", "PERCENT", 1.0),
+            ("40KB/s", "BANDWIDTH", 40 * 1024),
+            ("1MB/s", "BANDWIDTH", 1024 ** 2),
+        ],
+    )
+    def test_unit_literals(self, text, kind, value):
+        token = tokenize(text)[0]
+        assert token.kind == kind
+        assert token.value == value
+
+
+class TestComments:
+    def test_percent_comment_skipped(self):
+        source = "tier1 % this is a comment\ntier2"
+        assert kinds(source) == [("IDENT", "tier1"), ("IDENT", "tier2")]
+
+    def test_percent_after_number_is_unit(self):
+        tokens = tokenize("tier1.filled == 75% % grow now\nnext")
+        texts = [(t.kind, t.text) for t in tokens[:-1]]
+        assert ("PERCENT", "75%") in texts
+        assert ("IDENT", "next") in texts
+        assert not any("grow" in t for _, t in texts)
+
+    def test_comment_at_line_start(self):
+        assert kinds("% whole line comment\nx") == [("IDENT", "x")]
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)

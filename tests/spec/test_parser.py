@@ -1,0 +1,170 @@
+"""Parser: declarations, events, statements, expressions, errors."""
+
+import pytest
+
+from repro.spec import ast
+from repro.spec.lexer import SpecSyntaxError
+from repro.spec.parser import parse
+
+
+MINIMAL = """
+Tiera Minimal() {
+    tier1: { name: Memcached, size: 5G };
+}
+"""
+
+
+class TestInstanceStructure:
+    def test_name_and_tiers(self):
+        spec = parse(MINIMAL)
+        assert spec.name == "Minimal"
+        assert spec.params == []
+        assert len(spec.tiers) == 1
+        tier = spec.tiers[0]
+        assert (tier.tier_name, tier.product) == ("tier1", "Memcached")
+        assert tier.size == 5 * 1024 ** 3
+
+    def test_typed_params(self):
+        spec = parse("Tiera P(time t, int n) { tier1: { name: S3 }; }")
+        assert [(p.type_name, p.name) for p in spec.params] == [
+            ("time", "t"), ("int", "n"),
+        ]
+
+    def test_tier_with_zone(self):
+        spec = parse(
+            "Tiera Z() { tier1: { name: Memcached, size: 1G, zone: useast1b }; }"
+        )
+        assert spec.tiers[0].zone == "useast1b"
+
+    def test_tier_without_name_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse("Tiera X() { tier1: { size: 1G }; }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse(MINIMAL + "\nextra")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            parse("Tiera X() { tier1: { name: S3 } }")
+
+
+class TestEvents:
+    def test_action_event(self):
+        spec = parse(
+            """
+            Tiera E() {
+                tier1: { name: Memcached, size: 1G };
+                event(insert.into) : response {
+                    store(what: insert.object, to: tier1);
+                }
+            }
+            """
+        )
+        event = spec.events[0]
+        assert isinstance(event.expr, ast.PathExpr)
+        assert event.expr.parts == ("insert", "into")
+        assert not event.background
+        call = event.body[0]
+        assert isinstance(call, ast.CallStmt)
+        assert call.name == "store"
+        assert set(call.args) == {"what", "to"}
+
+    def test_timer_event(self):
+        spec = parse(
+            """
+            Tiera E(time t) {
+                tier1: { name: EBS, size: 1G };
+                event(time=t) : response { retrieve(what: insert.object); }
+            }
+            """
+        )
+        expr = spec.events[0].expr
+        assert isinstance(expr, ast.CompareExpr)
+        assert expr.op == "="
+
+    def test_background_event(self):
+        spec = parse(
+            """
+            Tiera E() {
+                tier1: { name: EBS, size: 1G };
+                background event(tier1.filled == 50%) : response {
+                    grow(what: tier1, increment: 100%);
+                }
+            }
+            """
+        )
+        assert spec.events[0].background
+
+    def test_assignment_statement(self):
+        spec = parse(
+            """
+            Tiera E() {
+                tier1: { name: Memcached, size: 1G };
+                event(insert.into) : response {
+                    insert.object.dirty = true;
+                }
+            }
+            """
+        )
+        stmt = spec.events[0].body[0]
+        assert isinstance(stmt, ast.AssignStmt)
+        assert stmt.target.parts == ("insert", "object", "dirty")
+        assert stmt.value.value is True
+
+    def test_if_else(self):
+        spec = parse(
+            """
+            Tiera E() {
+                tier1: { name: Memcached, size: 1G };
+                tier2: { name: EBS, size: 1G };
+                event(insert.into == tier1) : response {
+                    if (tier1.filled) {
+                        move(what: tier1.oldest, to: tier2);
+                    } else {
+                        retrieve(what: insert.object);
+                    }
+                    store(what: insert.object, to: tier1);
+                }
+            }
+            """
+        )
+        body = spec.events[0].body
+        assert isinstance(body[0], ast.IfStmt)
+        assert len(body[0].then) == 1
+        assert len(body[0].otherwise) == 1
+        assert isinstance(body[1], ast.CallStmt)
+
+
+class TestExpressions:
+    def _expr(self, text):
+        spec = parse(
+            f"""
+            Tiera E() {{
+                tier1: {{ name: Memcached, size: 1G }};
+                tier2: {{ name: EBS, size: 1G }};
+                event({text}) : response {{ retrieve(what: insert.object); }}
+            }}
+            """
+        )
+        return spec.events[0].expr
+
+    def test_and_chain(self):
+        expr = self._expr("object.location == tier1 && object.dirty == true")
+        assert isinstance(expr, ast.BoolExpr)
+        assert expr.op == "and"
+        assert len(expr.parts) == 2
+
+    def test_or_precedence(self):
+        expr = self._expr("object.dirty == true || object.size > 5 && object.size < 9")
+        assert isinstance(expr, ast.BoolExpr)
+        assert expr.op == "or"
+        # && binds tighter than ||
+        assert isinstance(expr.parts[1], ast.BoolExpr)
+        assert expr.parts[1].op == "and"
+
+    def test_percent_comparison(self):
+        expr = self._expr("tier1.filled == 75%")
+        assert isinstance(expr, ast.CompareExpr)
+        assert expr.rhs.unit == "percent"
+        assert expr.rhs.value == 0.75

@@ -1,0 +1,89 @@
+"""Key-popularity distributions: ranges, skew, determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.distributions import (
+    SpecialDistribution,
+    UniformKeys,
+    ZipfianKeys,
+)
+
+
+class TestUniform:
+    def test_range(self):
+        gen = UniformKeys(100, seed=1)
+        samples = [gen.next() for _ in range(1000)]
+        assert all(0 <= s < 100 for s in samples)
+        assert len(set(samples)) > 50  # actually spreads
+
+    def test_seeded_determinism(self):
+        a = UniformKeys(100, seed=7)
+        b = UniformKeys(100, seed=7)
+        assert [a.next() for _ in range(20)] == [b.next() for _ in range(20)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformKeys(0)
+
+
+class TestZipfian:
+    def test_rank_zero_is_hottest(self):
+        gen = ZipfianKeys(1000, theta=0.99, seed=3)
+        samples = [gen.next_rank() for _ in range(20000)]
+        counts = {}
+        for s in samples:
+            counts[s] = counts.get(s, 0) + 1
+        assert counts[0] > counts.get(10, 0) > counts.get(500, 1) - 1
+
+    def test_head_concentration(self):
+        gen = ZipfianKeys(10000, theta=0.99, seed=5)
+        samples = [gen.next_rank() for _ in range(20000)]
+        head = sum(1 for s in samples if s < 100)  # top 1 %
+        assert head / len(samples) > 0.3
+
+    def test_higher_theta_is_more_skewed(self):
+        mild = ZipfianKeys(10000, theta=0.8, seed=1)
+        steep = ZipfianKeys(10000, theta=1.2, seed=1)
+        mild_head = sum(1 for _ in range(5000) if mild.next_rank() == 0)
+        steep_head = sum(1 for _ in range(5000) if steep.next_rank() == 0)
+        assert steep_head > mild_head
+
+    def test_scramble_spreads_hot_keys(self):
+        gen = ZipfianKeys(10000, theta=0.99, seed=2, scramble=True)
+        hot = {gen.next() for _ in range(100)}
+        assert max(hot) > 1000  # no longer clustered at the low end
+
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_in_range(self, n):
+        gen = ZipfianKeys(n, seed=1)
+        assert all(0 <= gen.next() < n for _ in range(50))
+
+    def test_theta_one_handled(self):
+        gen = ZipfianKeys(100, theta=1.0, seed=1)
+        assert 0 <= gen.next() < 100
+
+
+class TestSpecial:
+    def test_hot_fraction_gets_hot_probability(self):
+        gen = SpecialDistribution(10000, hot_fraction=0.1, seed=9)
+        samples = [gen.next() for _ in range(20000)]
+        hot = sum(1 for s in samples if s < 1000)
+        assert hot / len(samples) == pytest.approx(0.8, abs=0.02)
+
+    def test_cold_accesses_spread(self):
+        gen = SpecialDistribution(10000, hot_fraction=0.01, seed=9)
+        cold = [s for s in (gen.next() for _ in range(20000)) if s >= 100]
+        assert min(cold) >= 100
+        assert max(cold) > 9000
+
+    def test_degenerate_all_hot(self):
+        gen = SpecialDistribution(10, hot_fraction=1.0, seed=1)
+        assert all(0 <= gen.next() < 10 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpecialDistribution(100, hot_fraction=0)
+        with pytest.raises(ValueError):
+            SpecialDistribution(100, hot_fraction=1.5)

@@ -1,0 +1,106 @@
+"""Trace recording and replay."""
+
+import pytest
+
+from repro.core.server import TieraServer
+from repro.core.templates import low_latency_instance, memcached_ebs_instance
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.resources import RequestContext
+from repro.tiers.registry import TierRegistry
+from repro.workloads.replay import TraceRecorder, TraceReplayer, load_trace
+
+
+@pytest.fixture
+def server(registry):
+    return TieraServer(memcached_ebs_instance(registry, mem="8M", ebs="8M"))
+
+
+class TestRecorder:
+    def test_records_all_op_kinds(self, server, cluster):
+        with TraceRecorder(server) as recorder:
+            server.put("a", b"x" * 100)
+            server.get("a")
+            server.delete("a")
+        kinds = [event["op"] for event in recorder.events]
+        assert kinds == ["put", "get", "delete"]
+        assert recorder.events[0]["size"] == 100
+
+    def test_server_restored_after_exit(self, server):
+        from repro.core.server import TieraServer
+
+        with TraceRecorder(server):
+            assert "put" in vars(server)  # hook installed
+        assert "put" not in vars(server)  # hook removed
+        assert server.put.__func__ is TieraServer.put
+
+    def test_dump_and_load(self, server, tmp_path):
+        with TraceRecorder(server) as recorder:
+            server.put("a", b"1")
+            server.get("a")
+        path = str(tmp_path / "trace.jsonl")
+        assert recorder.dump(path) == 2
+        events = load_trace(path)
+        assert [event["op"] for event in events] == ["put", "get"]
+
+    def test_timestamps_monotone(self, server, cluster):
+        with TraceRecorder(server) as recorder:
+            ctx = RequestContext(cluster.clock)
+            for i in range(5):
+                server.put(f"k{i}", b"v", ctx=ctx)
+        times = [event["at"] for event in recorder.events]
+        assert times == sorted(times)
+
+
+class TestReplayer:
+    def _record(self, registry, cluster):
+        source = TieraServer(memcached_ebs_instance(registry, mem="8M", ebs="8M"))
+        with TraceRecorder(source) as recorder:
+            ctx = RequestContext(cluster.clock)
+            for i in range(20):
+                source.put(f"k{i}", bytes(512), ctx=ctx)
+            for i in range(20):
+                source.get(f"k{i % 5}", ctx=ctx)
+            cluster.clock.run_until(ctx.time)
+        return recorder.events
+
+    def test_replay_against_another_instance(self, registry, cluster):
+        events = self._record(registry, cluster)
+        target = TieraServer(low_latency_instance(registry, t=30, mem="8M", ebs="8M"))
+        latencies = TraceReplayer(target, events).run(paced=False)
+        assert len(latencies) == len(events)
+        assert all(lat >= 0 for lat in latencies)
+        assert target.contains("k0")
+
+    def test_paced_replay_honours_spacing(self, registry):
+        # Build a synthetic trace with 1-second spacing.
+        events = [
+            {"op": "put", "key": f"k{i}", "size": 64, "at": float(i)}
+            for i in range(5)
+        ]
+        cluster = Cluster(seed=9)
+        target = TieraServer(
+            memcached_ebs_instance(TierRegistry(cluster), mem="8M", ebs="8M")
+        )
+        TraceReplayer(target, events).run(paced=True)
+        # The clock advanced through the recorded 4-second span.
+        assert cluster.clock.now() >= 4.0
+
+    def test_replay_tolerates_missing_keys(self, registry, cluster):
+        events = [{"op": "get", "key": "ghost", "at": 0.0},
+                  {"op": "delete", "key": "ghost", "at": 0.1}]
+        target = TieraServer(memcached_ebs_instance(registry, mem="8M", ebs="8M"))
+        latencies = TraceReplayer(target, events).run()
+        assert len(latencies) == 2
+
+    def test_empty_trace(self, registry, cluster):
+        target = TieraServer(memcached_ebs_instance(registry, mem="8M", ebs="8M"))
+        assert TraceReplayer(target, []).run() == []
+
+    def test_compare_two_instances(self, registry, cluster):
+        """The intended use: one trace, two candidate specs, compare."""
+        events = self._record(registry, cluster)
+        fast = TieraServer(
+            memcached_ebs_instance(registry, mem="8M", ebs="8M")
+        )
+        fast_latency = sum(TraceReplayer(fast, events).run(paced=False))
+        assert fast_latency > 0

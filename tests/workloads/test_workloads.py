@@ -1,0 +1,133 @@
+"""YCSB / sysbench / fio drivers."""
+
+import pytest
+
+from repro.core.server import TieraServer
+from repro.fs.filesystem import TieraFileSystem
+from repro.simcloud.resources import RequestContext
+from repro.workloads.fio import FioReader
+from repro.workloads.sysbench import SysbenchOltp, load_table
+from repro.workloads.ycsb import (
+    YcsbWorkload,
+    insert_stream,
+    mixed_50_50,
+    read_only,
+    record_payload,
+    write_only,
+)
+from tests.core.conftest import build_instance
+
+
+@pytest.fixture
+def server(registry):
+    instance = build_instance(registry, [("t", "Memcached", 256 * 1024 * 1024)])
+    return TieraServer(instance)
+
+
+def fresh_ctx(cluster):
+    return RequestContext(cluster.clock)
+
+
+class TestPayloads:
+    def test_deterministic(self):
+        assert record_payload(5, 0) == record_payload(5, 0)
+
+    def test_distinct_by_key_and_version(self):
+        assert record_payload(1, 0) != record_payload(2, 0)
+        assert record_payload(1, 0) != record_payload(1, 1)
+
+    def test_size(self):
+        assert len(record_payload(1, 0, size=4096)) == 4096
+        assert len(record_payload(1, 0, size=100)) == 100
+
+
+class TestYcsb:
+    def test_load_phase(self, server, cluster):
+        wl = YcsbWorkload(server, record_count=20, record_size=128)
+        wl.load(ctx=fresh_ctx(cluster))
+        assert len(server.keys()) == 20
+
+    def test_read_only_reads(self, server, cluster):
+        wl = read_only(server, 20, distribution="zipfian")
+        wl.record_size = 128
+        wl.load(ctx=fresh_ctx(cluster))
+        label = wl(0, fresh_ctx(cluster))
+        assert label == "read"
+
+    def test_mixed_produces_both(self, server, cluster):
+        wl = mixed_50_50(server, 20)
+        wl.record_size = 128
+        wl.load(ctx=fresh_ctx(cluster))
+        labels = {wl(0, fresh_ctx(cluster)) for _ in range(60)}
+        assert labels == {"read", "write"}
+
+    def test_write_only_updates_version(self, server, cluster):
+        wl = write_only(server, 5)
+        wl.record_size = 64
+        wl.load(ctx=fresh_ctx(cluster))
+        for _ in range(20):
+            assert wl(0, fresh_ctx(cluster)) == "write"
+        assert any(server.stat(k).version > 0 for k in server.keys())
+
+    def test_insert_stream_grows_keyspace(self, server, cluster):
+        wl = insert_stream(server)
+        wl.record_size = 64
+        for _ in range(10):
+            assert wl(0, fresh_ctx(cluster)) == "insert"
+        assert len(server.keys()) == 10
+
+    def test_proportions_validated(self, server):
+        with pytest.raises(ValueError):
+            YcsbWorkload(server, 10, read_proportion=0.6, update_proportion=0.6)
+
+    def test_unknown_distribution(self, server):
+        with pytest.raises(ValueError):
+            YcsbWorkload(server, 10, distribution="pareto")
+
+
+class TestSysbench:
+    def test_load_and_readonly_txn(self, registry, cluster):
+        instance = build_instance(
+            registry, [("t", "Memcached", 512 * 1024 * 1024)], name="sb"
+        )
+        fs = TieraFileSystem(TieraServer(instance))
+        from repro.apps.minidb import Database
+
+        db = Database(fs, "sb", buffer_pool_pages=64)
+        load_table(db, rows=300, clock=cluster.clock)
+        assert db.engine.tables["sbtest1"].row_count == 300
+        wl = SysbenchOltp(db, rows=300, hot_fraction=0.1, read_only=True)
+        ctx = fresh_ctx(cluster)
+        assert wl(0, ctx) == "ro"
+        assert wl.transactions == 1
+        assert ctx.elapsed > 0.01  # query overheads add up
+
+    def test_readwrite_txn_mutates(self, registry, cluster):
+        instance = build_instance(
+            registry, [("t", "Memcached", 512 * 1024 * 1024)], name="sb2"
+        )
+        fs = TieraFileSystem(TieraServer(instance))
+        from repro.apps.minidb import Database
+
+        db = Database(fs, "sb2", buffer_pool_pages=64)
+        load_table(db, rows=300, clock=cluster.clock)
+        wl = SysbenchOltp(db, rows=300, hot_fraction=0.5, read_only=False)
+        commits_before = db.engine.commits
+        for _ in range(5):
+            assert wl(0, fresh_ctx(cluster)) == "rw"
+        assert db.engine.commits == commits_before + 5
+        assert db.engine.tables["sbtest1"].row_count == 300  # delete+insert nets out
+
+
+class TestFio:
+    def test_zipfian_reads(self, registry, cluster):
+        instance = build_instance(
+            registry, [("t", "Memcached", 64 * 1024 * 1024)], name="fio"
+        )
+        fs = TieraFileSystem(TieraServer(instance))
+        with fs.open("/data", "w") as handle:
+            handle.write(b"z" * (64 * 4096))
+        reader = FioReader(fs, "/data", io_size=4096, theta=1.2)
+        for _ in range(20):
+            assert reader(0, fresh_ctx(cluster)) == "read"
+        assert reader.reads == 20
