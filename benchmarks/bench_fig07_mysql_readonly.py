@@ -17,7 +17,12 @@ from repro.bench.deployments import (
     mysql_on_memcached_ebs,
     mysql_on_memcached_replicated,
 )
-from repro.bench.report import format_table, ms
+from repro.bench.report import (
+    TIER_BREAKDOWN_HEADERS,
+    format_table,
+    ms,
+    tier_breakdown_rows,
+)
 from repro.bench.runner import run_closed_loop
 from repro.workloads.sysbench import SysbenchOltp, load_table
 
@@ -35,8 +40,13 @@ DEPLOYMENTS = (
 
 
 def run_sysbench_sweep(read_only: bool):
-    """Shared by Figures 7 and 8: the full deployment × hot-% sweep."""
+    """Shared by Figures 7 and 8: the full deployment × hot-% sweep.
+
+    Returns the figure's rows plus a per-tier breakdown (from the
+    observability registry) for each deployment × hot-% cell.
+    """
     rows = []
+    breakdown = []
     for name, builder in DEPLOYMENTS:
         deployment = builder()
         load_table(deployment.db, ROWS, clock=deployment.clock)
@@ -46,7 +56,7 @@ def run_sysbench_sweep(read_only: bool):
             )
             result = run_closed_loop(
                 deployment.clock, clients=CLIENTS, duration=DURATION,
-                op_fn=workload, warmup=WARMUP,
+                op_fn=workload, warmup=WARMUP, obs=deployment.cluster.obs,
             )
             rows.append(
                 [
@@ -56,14 +66,17 @@ def run_sysbench_sweep(read_only: bool):
                     round(ms(result.latencies.p95()), 1),
                 ]
             )
-    return rows
+            breakdown.extend(
+                tier_breakdown_rows(f"{name} @{hot:.0%}", result.tier_report)
+            )
+    return rows, breakdown
 
 
 def test_fig07_mysql_readonly(benchmark, emit):
     table = {}
 
     def experiment():
-        table["rows"] = run_sysbench_sweep(read_only=True)
+        table["rows"], table["breakdown"] = run_sysbench_sweep(read_only=True)
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
     text = format_table(
@@ -76,8 +89,17 @@ def test_fig07_mysql_readonly(benchmark, emit):
             "as %hot grows."
         ),
     )
+    text += "\n\n" + format_table(
+        "Figure 7 — per-tier activity during the measured window",
+        list(TIER_BREAKDOWN_HEADERS),
+        table["breakdown"],
+        note="From the tiera_* metrics registry: per-service op counts, "
+             "simulated seconds charged, and each tier's share of GETs.",
+    )
     emit("fig07_mysql_readonly", text)
     # Sanity assertions on the paper's claims (shape, not absolutes).
     by = {(r[0], r[1]): r[2] for r in table["rows"]}
     assert by[("Tiera MemcachedReplicated", "1%")] > 1.3 * by[("MySQL On EBS", "1%")]
     assert by[("MySQL On EBS", "1%")] > 2.0 * by[("MySQL On EBS", "30%")]
+    # The registry-backed breakdown is present for the Tiera deployments.
+    assert any(row[0].startswith("Tiera") for row in table["breakdown"])

@@ -10,7 +10,7 @@ apart between the memory-backed and EBS-backed deployments.
 
 from __future__ import annotations
 
-from repro.bench.report import format_table
+from repro.bench.report import TIER_BREAKDOWN_HEADERS, format_table
 
 from benchmarks.bench_fig07_mysql_readonly import run_sysbench_sweep
 
@@ -19,7 +19,7 @@ def test_fig08_mysql_readwrite(benchmark, emit):
     table = {}
 
     def experiment():
-        table["rows"] = run_sysbench_sweep(read_only=False)
+        table["rows"], table["breakdown"] = run_sysbench_sweep(read_only=False)
 
     benchmark.pedantic(experiment, rounds=1, iterations=1)
     text = format_table(
@@ -30,6 +30,13 @@ def test_fig08_mysql_readwrite(benchmark, emit):
             "Paper: MemcachedReplicated +125% TPS over EBS; MemcachedEBS "
             "≈ EBS (EBS writes are the bottleneck)."
         ),
+    )
+    text += "\n\n" + format_table(
+        "Figure 8 — per-tier activity during the measured window",
+        list(TIER_BREAKDOWN_HEADERS),
+        table["breakdown"],
+        note="From the tiera_* metrics registry: per-service op counts, "
+             "simulated seconds charged, and each tier's share of GETs.",
     )
     emit("fig08_mysql_readwrite", text)
     by = {(r[0], r[1]): r[2] for r in table["rows"]}

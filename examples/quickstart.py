@@ -82,6 +82,23 @@ def main() -> None:
     stored = instance.tiers.get("tier1").service.size_of("compressible")
     print(f"compress-on-insert: 11000 logical bytes → {stored} stored bytes")
 
+    # Observability: trace one GET end to end, then dump the registry.
+    server.get("greeting", trace=True)
+    trace = server.last_trace()
+    print(f"traced GET served by {trace.attrs.get('served_by')}: "
+          + ", ".join(f"{span.name} ({span.kind})" for span in trace.children))
+
+    snapshot = server.obs.snapshot(audit_limit=3)
+    print(f"stats snapshot at t={snapshot['time']:.1f}s — "
+          f"{len(snapshot['metrics'])} metric families, "
+          f"{snapshot['audit']['appended']} audit records")
+    requests = snapshot["metrics"]["tiera_requests_total"]["samples"]
+    for labels, value in sorted(requests.items()):
+        print(f"  tiera_requests_total{{{labels}}} = {value:.0f}")
+    for record in snapshot["audit"]["tail"]:
+        print(f"  audit [{record['time']:.1f}] {record['category']} "
+              f"{record['name']} ({record['origin']})")
+
 
 if __name__ == "__main__":
     main()

@@ -111,7 +111,9 @@ def mysql_on_ebs(
         rng=cluster.rng,
         meter=meter,
     )
-    fs = RawDeviceFileSystem(volume, page_cache=PageCache(parse_size(os_cache)))
+    fs = RawDeviceFileSystem(
+        volume, page_cache=PageCache(parse_size(os_cache), obs=cluster.obs)
+    )
     db = Database(fs, "sbtest", buffer_pool_pages=pool_pages)
     dep = Deployment("MySQL On EBS", cluster, meter, db, None, None, fs)
     dep.cost_override = PriceBook().monthly_storage_cost("ebs", parse_size(ebs_size))

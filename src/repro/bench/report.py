@@ -48,3 +48,57 @@ def _cell(value: object) -> str:
 def ms(seconds: float) -> float:
     """Seconds → milliseconds (for latency columns)."""
     return seconds * 1000.0
+
+
+def tier_breakdown_rows(
+    label: str, report: Optional[dict]
+) -> List[List[object]]:
+    """Rows for a per-tier breakdown table from ``RunResult.tier_report``.
+
+    One row per service: operation counts, simulated seconds its
+    operations charged (the per-tier latency contribution), and — where
+    the service backed a tier that answered GETs — that tier's share of
+    served reads.
+    """
+    if not report:
+        return []
+    served = report.get("gets_served", {})
+    total_served = sum(served.values())
+    rows: List[List[object]] = []
+    for service in sorted(set(report.get("ops", {})) | set(report.get("seconds", {}))):
+        ops = report.get("ops", {}).get(service, {})
+        rows.append(
+            [
+                label,
+                service,
+                int(ops.get("get", 0)),
+                int(ops.get("put", 0)),
+                int(ops.get("miss", 0) + ops.get("delete", 0)),
+                round(report.get("seconds", {}).get(service, 0.0), 3),
+            ]
+        )
+    for tier, count in sorted(served.items()):
+        rows.append(
+            [
+                label,
+                f"{tier} (GETs served)",
+                int(count),
+                "",
+                "",
+                f"{count / total_served:.0%}" if total_served else "",
+            ]
+        )
+    cache = report.get("cache", {})
+    if cache:
+        hits = cache.get("hits", 0)
+        misses = cache.get("misses", 0)
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        rows.append(
+            [label, "page-cache", int(hits), int(misses), "", f"{rate:.0%}"]
+        )
+    return rows
+
+
+TIER_BREAKDOWN_HEADERS = (
+    "deployment", "service/tier", "get", "put", "other", "sim-seconds/share"
+)

@@ -36,11 +36,23 @@ class RunResult:
     latencies: LatencyRecorder = field(default_factory=LatencyRecorder)
     throughput_series: Optional[TimeSeries] = None
     latency_series: Optional[TimeSeries] = None
+    #: per-tier activity over the run (repro.obs.export.tier_report):
+    #: ops per service, simulated seconds per service, GETs served per
+    #: tier, page-cache hits/misses — populated when ``obs`` was passed.
+    tier_report: Optional[dict] = None
 
     @property
     def throughput(self) -> float:
         """Successful operations per second over the measured window."""
         return self.operations / self.duration if self.duration > 0 else 0.0
+
+    def tier_hit_rate(self, tier: str) -> float:
+        """Fraction of served GETs answered by ``tier`` during the run."""
+        if not self.tier_report:
+            return 0.0
+        served = self.tier_report.get("gets_served", {})
+        total = sum(served.values())
+        return served.get(tier, 0.0) / total if total else 0.0
 
 
 def run_closed_loop(
@@ -52,6 +64,7 @@ def run_closed_loop(
     warmup: float = 0.0,
     series_bucket: Optional[float] = None,
     start_stagger: float = 0.0,
+    obs=None,
 ) -> RunResult:
     """Drive ``clients`` closed-loop clients for ``duration`` seconds.
 
@@ -62,11 +75,16 @@ def run_closed_loop(
     time-series figures plot the whole window).  Failed operations
     (Tiera/cloud errors) count as errors; the client retries its next
     request after the failure's elapsed time plus think time.
+
+    Passing the stack's :class:`~repro.obs.hub.Observability` as ``obs``
+    attaches a per-tier breakdown (ops, simulated seconds, GETs served,
+    cache hit/miss) for the run window to ``RunResult.tier_report``.
     """
     if clients < 1:
         raise ValueError("need at least one client")
     if duration <= 0:
         raise ValueError("duration must be positive")
+    before_snapshot = obs.metrics.snapshot() if obs is not None else None
     start = clock.now()
     end = start + duration
     measure_from = start + warmup
@@ -109,4 +127,8 @@ def run_closed_loop(
 
     if clock.now() < end:
         clock.run_until(end)
+    if obs is not None:
+        from repro.obs.export import tier_report
+
+        result.tier_report = tier_report(before_snapshot, obs.metrics.snapshot())
     return result

@@ -9,11 +9,16 @@ Commands mirror how the paper's prototype is operated:
   spec against a wall-clock simulated cloud and serve it over the RPC
   protocol, like the prototype's Thrift server on an EC2 instance.
 * ``cost <spec-file>`` — price the specified configuration per month.
+* ``stats --port P [--host H] [--format json|prometheus|summary]`` —
+  query a running server's observability snapshot over RPC (the STATS
+  verb): metric registry, audit-log tail, health summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -122,6 +127,47 @@ def cmd_serve(options) -> int:
     return 0
 
 
+def cmd_stats(options) -> int:
+    from repro.rpc import TieraClient
+
+    try:
+        client = TieraClient(options.host, options.port)
+    except OSError as exc:
+        print(f"cannot connect to {options.host}:{options.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    with client:
+        if options.format == "prometheus":
+            print(client.stats(format="prometheus"), end="")
+            return 0
+        snapshot = client.stats()
+        if options.format == "json":
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+            return 0
+        # summary: the headline numbers a human wants at a glance.
+        health = client.health()
+        print(f"instance {health['instance']} — status {health['status']} "
+              f"at t={health['time']:.1f}s, {health['objects']} objects")
+        for tier in health["tiers"]:
+            cap = "∞" if tier["capacity"] is None else str(tier["capacity"])
+            state = "up" if tier["available"] else "DOWN"
+            print(f"  tier {tier['name']} ({tier['kind']}): "
+                  f"{tier['used']}/{cap} bytes, {state}")
+        fired = health["rules_fired"]
+        if fired:
+            print("  rules fired:", ", ".join(
+                f"{name}×{count}" for name, count in sorted(fired.items())
+            ))
+        print(f"  background errors: {health['background_errors']} "
+              f"(audit: {health['audit_errors']})")
+        audit = snapshot.get("audit", {})
+        for record in audit.get("tail", [])[-5:]:
+            error = f" ERROR {record['error']}" if record.get("error") else ""
+            print(f"  [{record['time']:.3f}] {record['category']} "
+                  f"{record['name']} ({record['origin']}){error}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Tiera middleware (Middleware 2014 reproduction)"
@@ -144,8 +190,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--arg", action="append", default=[])
     serve.set_defaults(func=cmd_serve)
 
+    stats = commands.add_parser(
+        "stats", help="query a running server's observability snapshot"
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, required=True)
+    stats.add_argument(
+        "--format", choices=("summary", "json", "prometheus"), default="summary"
+    )
+    stats.set_defaults(func=cmd_stats)
+
     options = parser.parse_args(argv)
-    return options.func(options)
+    try:
+        return options.func(options)
+    except BrokenPipeError:
+        # Output was piped into e.g. `head`, which closed early — the
+        # Unix-normal case, not an error.  Detach stdout so the
+        # interpreter's shutdown flush doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

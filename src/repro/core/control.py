@@ -24,6 +24,8 @@ from repro.core.conditions import EvalScope
 from repro.core.errors import TieraError
 from repro.core.events import ThresholdEvent
 from repro.core.policy import Policy, Rule
+from repro.obs.audit import AuditRecord
+from repro.obs.trace import Span
 from repro.simcloud.clock import Clock, Timer
 from repro.simcloud.errors import SimCloudError
 from repro.simcloud.resources import RequestContext
@@ -59,6 +61,24 @@ class ControlLayer:
         self.background_errors: List[Tuple[str, Exception]] = []
         self._timers: Dict[str, Timer] = {}
         self._started = False
+        # Observability: the instance's hub, when it has one (tests may
+        # hand this layer a bare stub).  Every rule firing is audited
+        # and counted; background failures stop being silent.
+        self.obs = getattr(instance, "obs", None)
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            self._fired_counter = metrics.counter(
+                "tiera_rules_fired_total", "Policy rule firings, by rule."
+            )
+            self._rule_seconds = metrics.counter(
+                "tiera_rule_seconds_total",
+                "Simulated seconds spent executing rule responses, "
+                "split foreground (client path) vs background.",
+            )
+            self._bg_errors = metrics.counter(
+                "tiera_background_errors_total",
+                "Errors raised by background/timer policy work.",
+            )
         policy.subscribe(self._on_policy_change)
 
     # -- lifecycle ---------------------------------------------------------
@@ -95,7 +115,7 @@ class ControlLayer:
         def fire() -> None:
             ctx = RequestContext(self.clock)
             scope = EvalScope(instance=self.instance)
-            self._run_rule(rule, scope, ctx, swallow=True)
+            self._run_rule(rule, scope, ctx, swallow=True, origin="timer")
             self._check_thresholds_after_mutation()
 
         return fire
@@ -106,24 +126,27 @@ class ControlLayer:
         """Run every rule whose action event matches; returns whether any
         foreground rule handled (placed/handled data for) the action."""
         scope = EvalScope(instance=self.instance, action=action)
+        origin = f"action:{action.kind}"
         handled = False
         for rule in self.policy.action_rules():
             ctx.wait(self.eval_overhead)
             if not rule.event.matches(action, scope):
                 continue
             if rule.background:
-                self._schedule_background(rule, action)
+                self._schedule_background(rule, action, origin=origin)
             else:
-                self._run_rule(rule, scope, ctx, swallow=False)
+                self._run_rule(rule, scope, ctx, swallow=False, origin=origin)
             handled = True
         self.evaluate_thresholds(ctx, action=action)
         return handled
 
-    def _schedule_background(self, rule: Rule, action: Optional[Action]) -> None:
+    def _schedule_background(
+        self, rule: Rule, action: Optional[Action], origin: str = "action"
+    ) -> None:
         def run() -> None:
             ctx = RequestContext(self.clock)
             scope = EvalScope(instance=self.instance, action=action)
-            self._run_rule(rule, scope, ctx, swallow=True)
+            self._run_rule(rule, scope, ctx, swallow=True, origin=origin)
             self._check_thresholds_after_mutation()
 
         self.clock.schedule(0.0, run)
@@ -146,9 +169,9 @@ class ControlLayer:
             if not event.should_fire(scope):
                 continue
             if rule.background or event.background:
-                self._schedule_background(rule, action)
+                self._schedule_background(rule, action, origin="threshold")
             else:
-                self._run_rule(rule, scope, ctx, swallow=False)
+                self._run_rule(rule, scope, ctx, swallow=False, origin="threshold")
 
     def _check_thresholds_after_mutation(self) -> None:
         """Threshold re-check from a background/timer context."""
@@ -156,18 +179,100 @@ class ControlLayer:
         try:
             self.evaluate_thresholds(ctx)
         except (TieraError, SimCloudError) as exc:
-            self.background_errors.append(("threshold", exc))
+            self._note_background_error("threshold", exc, ctx.time)
+
+    def _note_background_error(
+        self, source: str, exc: Exception, at: float
+    ) -> None:
+        """A background failure: keep the legacy list, but surface it."""
+        self.background_errors.append((source, exc))
+        if self.obs is not None:
+            self._bg_errors.inc(source=source)
+            self.obs.audit.append(
+                AuditRecord(
+                    time=at,
+                    category="background-error",
+                    name=source,
+                    foreground=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
 
     # -- execution -----------------------------------------------------------------
 
     def _run_rule(
-        self, rule: Rule, scope: EvalScope, ctx: RequestContext, swallow: bool
+        self,
+        rule: Rule,
+        scope: EvalScope,
+        ctx: RequestContext,
+        swallow: bool,
+        origin: str = "",
     ) -> None:
+        """Execute one rule's responses, auditing what they did.
+
+        A rule span is always opened (attached to the request's trace
+        when one is active, standalone otherwise) so the audit record
+        can report which tiers the responses touched; ``swallow`` marks
+        background execution — errors are recorded, not raised.
+        """
         self.fired[rule.name] = self.fired.get(rule.name, 0) + 1
-        for response in rule.responses:
-            try:
-                response.execute(scope, ctx)
-            except (TieraError, SimCloudError) as exc:
-                if not swallow:
-                    raise
-                self.background_errors.append((rule.name, exc))
+        start = ctx.time
+        parent = ctx.span
+        if parent is not None:
+            span = parent.child(
+                rule.name, "rule", start, foreground=not swallow, origin=origin
+            )
+        else:
+            span = Span(
+                rule.name, "rule", start,
+                foreground=not swallow, attrs={"origin": origin},
+            )
+        ctx.span = span
+        error: Optional[str] = None
+        try:
+            for response in rule.responses:
+                try:
+                    response.execute(scope, ctx)
+                except (TieraError, SimCloudError) as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    if not swallow:
+                        raise
+                    self.background_errors.append((rule.name, exc))
+        finally:
+            ctx.span = parent
+            span.finish(ctx.time)
+            span.error = error
+            self._audit_rule(rule, span, origin, swallow, error)
+
+    def _audit_rule(
+        self,
+        rule: Rule,
+        span: Span,
+        origin: str,
+        swallow: bool,
+        error: Optional[str],
+    ) -> None:
+        if self.obs is None:
+            return
+        mode = "background" if swallow else "foreground"
+        self._fired_counter.inc(rule=rule.name)
+        self._rule_seconds.inc(span.duration, rule=rule.name, mode=mode)
+        if error is not None and swallow:
+            self._bg_errors.inc(source=rule.name)
+        tier_ops = span.find("tier-op")
+        self.obs.audit.append(
+            AuditRecord(
+                time=span.start,
+                category="rule",
+                name=rule.name,
+                origin=origin,
+                foreground=not swallow,
+                responses=len(rule.responses),
+                tiers_touched=tuple(
+                    sorted({str(s.attrs.get("tier")) for s in tier_ops})
+                ),
+                objects_moved=len(tier_ops),
+                duration=span.duration,
+                error=error,
+            )
+        )

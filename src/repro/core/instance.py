@@ -46,6 +46,7 @@ class TieraInstance:
         metadata_store: Optional[KVStore] = None,
         price_book: Optional[PriceBook] = None,
         eval_overhead: Optional[float] = None,
+        obs=None,
     ):
         if clock is None:
             raise ValueError("a TieraInstance needs a clock")
@@ -57,6 +58,28 @@ class TieraInstance:
         self.metadata_store = (
             metadata_store if metadata_store is not None else MemoryStore()
         )
+        #: observability hub (repro.obs).  Not passed explicitly it is
+        #: inherited from the tiers' services (which get the cluster's
+        #: hub via the TierRegistry), so control-layer and service
+        #: metrics land in one registry; a bare instance gets its own.
+        if obs is None:
+            obs = next(
+                (
+                    t.service.obs
+                    for t in self.tiers
+                    if getattr(t.service, "obs", None) is not None
+                ),
+                None,
+            )
+        if obs is None:
+            from repro.obs.hub import Observability
+
+            obs = Observability(clock)
+        self.obs = obs
+        self._gets_served = obs.metrics.counter(
+            "tiera_gets_served_total", "GET requests answered, by tier."
+        )
+        obs.metrics.add_collector(self._collect_gauges)
         control_kwargs = {}
         if eval_overhead is not None:
             control_kwargs["eval_overhead"] = eval_overhead
@@ -272,9 +295,16 @@ class TieraInstance:
                 last_error = ServiceUnavailableError(tier.name)
                 continue
             try:
-                return tier.get(physical, ctx)
+                data = tier.get(physical, ctx)
             except ServiceUnavailableError as exc:
                 last_error = exc
+                continue
+            # The "which tier served this GET?" answer, both aggregate
+            # (registry counter) and per-request (trace root attribute).
+            self._gets_served.inc(tier=tier.name)
+            if ctx.trace is not None:
+                ctx.trace.attrs["served_by"] = tier.name
+            return data
         raise TierUnavailableError(key, detail=str(last_error))
 
     def rewrite_everywhere(self, key: str, data: bytes, ctx: RequestContext) -> None:
@@ -464,6 +494,30 @@ class TieraInstance:
 
     # -- accounting --------------------------------------------------------
 
+    def _collect_gauges(self, registry) -> None:
+        """Snapshot-time gauge refresh: tier fill and object counts."""
+        used = registry.gauge(
+            "tiera_tier_used_bytes", "Bytes currently stored per tier."
+        )
+        cap = registry.gauge(
+            "tiera_tier_capacity_bytes",
+            "Provisioned tier capacity (-1 when unlimited).",
+        )
+        up = registry.gauge(
+            "tiera_tier_available", "1 when the tier answers requests."
+        )
+        for tier in self.tiers:
+            used.set(tier.used, instance=self.name, tier=tier.name)
+            cap.set(
+                -1 if tier.capacity is None else tier.capacity,
+                instance=self.name,
+                tier=tier.name,
+            )
+            up.set(1 if tier.available else 0, instance=self.name, tier=tier.name)
+        registry.gauge(
+            "tiera_objects", "Objects in the instance's metadata table."
+        ).set(self.object_count(), instance=self.name)
+
     def monthly_cost(self) -> float:
         """Monthly storage cost of the provisioned configuration, dollars."""
         total = 0.0
@@ -485,6 +539,7 @@ class TieraInstance:
 
     def shutdown(self) -> None:
         self.control.shutdown()
+        self.obs.metrics.remove_collector(self._collect_gauges)
         self.metadata_store.close()
 
     def __repr__(self) -> str:

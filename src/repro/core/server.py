@@ -12,7 +12,7 @@ object.
 from __future__ import annotations
 
 import zlib
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.actions import Action, DELETE, GET, INSERT
 from repro.core.instance import TieraInstance
@@ -26,9 +26,37 @@ class TieraServer:
     def __init__(self, instance: TieraInstance):
         self.instance = instance
         self.clock = instance.clock
+        self.obs = instance.obs
+        metrics = self.obs.metrics
+        self._requests = metrics.counter(
+            "tiera_requests_total", "Client PUT/GET/DELETE requests served."
+        )
+        self._request_errors = metrics.counter(
+            "tiera_request_errors_total", "Client requests that raised."
+        )
+        self._request_seconds = metrics.histogram(
+            "tiera_request_seconds",
+            "Client-observed simulated latency per request.",
+        )
 
     def _ctx(self, ctx: Optional[RequestContext]) -> RequestContext:
         return ctx if ctx is not None else RequestContext(self.clock)
+
+    def _begin(self, op: str, key: str, ctx: RequestContext, trace: bool):
+        """Open the request trace (when tracing) and note the start time."""
+        return self.obs.tracer.start_request(op, key, ctx, force=trace), ctx.time
+
+    def _end(self, op, root, ctx, start, error: Optional[BaseException] = None):
+        """Close the trace and record the request's registry samples."""
+        if error is None:
+            self._requests.inc(op=op)
+            self._request_seconds.observe(ctx.time - start, op=op)
+            self.obs.tracer.finish_request(root, ctx)
+        else:
+            self._request_errors.inc(op=op, error=type(error).__name__)
+            self.obs.tracer.finish_request(
+                root, ctx, error=f"{type(error).__name__}: {error}"
+            )
 
     # -- the PUT/GET API (§2.1) ----------------------------------------------
 
@@ -38,10 +66,25 @@ class TieraServer:
         data: bytes,
         tags: Iterable[str] = (),
         ctx: Optional[RequestContext] = None,
+        trace: bool = False,
     ) -> RequestContext:
         """Store (or overwrite) an object; returns the request context,
-        whose ``elapsed`` is the client-observed latency."""
+        whose ``elapsed`` is the client-observed latency.  ``trace=True``
+        records a full trace for this request even when the instance's
+        tracer is not globally enabled."""
         ctx = self._ctx(ctx)
+        root, started = self._begin("put", key, ctx, trace)
+        try:
+            self._put(key, data, tags, ctx)
+        except BaseException as exc:
+            self._end("put", root, ctx, started, exc)
+            raise
+        self._end("put", root, ctx, started)
+        return ctx
+
+    def _put(
+        self, key: str, data: bytes, tags: Iterable[str], ctx: RequestContext
+    ) -> None:
         instance = self.instance
         if instance.versioning_enabled and instance.has_object(key):
             instance.preserve_version(key, ctx)
@@ -77,7 +120,6 @@ class TieraServer:
             # dispatch-time check: give threshold rules another look.
             instance.control.evaluate_thresholds(ctx, action=action)
         instance.persist_meta(meta)
-        return ctx
 
     def _default_store(self, action: Action, ctx: RequestContext) -> None:
         """No rule placed the object: put it in the first-declared tier,
@@ -94,6 +136,7 @@ class TieraServer:
         key: str,
         ctx: Optional[RequestContext] = None,
         prefer: Optional[str] = None,
+        trace: bool = False,
     ) -> bytes:
         """Retrieve an object's content.
 
@@ -103,6 +146,18 @@ class TieraServer:
         explicitly), so encrypted objects come back as stored.
         """
         ctx = self._ctx(ctx)
+        root, started = self._begin("get", key, ctx, trace)
+        try:
+            data = self._get(key, ctx, prefer)
+        except BaseException as exc:
+            self._end("get", root, ctx, started, exc)
+            raise
+        self._end("get", root, ctx, started)
+        return data
+
+    def _get(
+        self, key: str, ctx: RequestContext, prefer: Optional[str]
+    ) -> bytes:
         instance = self.instance
         meta = instance.meta(key)
         action = Action(kind=GET, key=key, meta=meta)
@@ -124,16 +179,71 @@ class TieraServer:
         return self.get(key, ctx=ctx), ctx
 
     def delete(
-        self, key: str, ctx: Optional[RequestContext] = None
+        self,
+        key: str,
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
     ) -> RequestContext:
         ctx = self._ctx(ctx)
-        instance = self.instance
-        meta = instance.meta(key)
-        action = Action(kind=DELETE, key=key, meta=meta)
-        instance.control.dispatch_action(action, ctx)
-        if instance.has_object(key):
-            instance.delete_object(key, ctx)
+        root, started = self._begin("delete", key, ctx, trace)
+        try:
+            instance = self.instance
+            meta = instance.meta(key)
+            action = Action(kind=DELETE, key=key, meta=meta)
+            instance.control.dispatch_action(action, ctx)
+            if instance.has_object(key):
+                instance.delete_object(key, ctx)
+        except BaseException as exc:
+            self._end("delete", root, ctx, started, exc)
+            raise
+        self._end("delete", root, ctx, started)
         return ctx
+
+    # -- introspection ---------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """A liveness/dirt summary the watchdog and RPC layer can query.
+
+        Surfaces what used to be invisible: background policy failures
+        (``ControlLayer.background_errors``), per-tier availability, and
+        the audit log's error tally.
+        """
+        instance = self.instance
+        control = instance.control
+        tiers = [
+            {
+                "name": tier.name,
+                "kind": tier.kind,
+                "used": tier.used,
+                "capacity": tier.capacity,
+                "available": tier.available,
+            }
+            for tier in instance.tiers
+        ]
+        errors = control.background_errors
+        status = "ok"
+        if any(not t["available"] for t in tiers):
+            status = "degraded"
+        elif errors:
+            status = "dirty"
+        return {
+            "instance": instance.name,
+            "time": self.clock.now(),
+            "status": status,
+            "objects": instance.object_count(),
+            "tiers": tiers,
+            "rules_fired": dict(control.fired),
+            "background_errors": len(errors),
+            "recent_background_errors": [
+                f"{source}: {type(exc).__name__}: {exc}"
+                for source, exc in errors[-5:]
+            ],
+            "audit_errors": instance.obs.audit.error_count(),
+        }
+
+    def last_trace(self):
+        """The most recently completed request trace (or ``None``)."""
+        return self.obs.tracer.last()
 
     # -- metadata operations ---------------------------------------------------
 

@@ -20,14 +20,25 @@ CACHE_HIT_COST = 3e-6
 class PageCache:
     """Byte-budgeted LRU cache of file blocks."""
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(self, capacity_bytes: int, obs=None, name: str = "page-cache"):
         if capacity_bytes <= 0:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity_bytes
+        self.name = name
         self._pages: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
         self._used = 0
         self.hits = 0
         self.misses = 0
+        # Optional repro.obs hub: hit/miss tallies also land in the
+        # metrics registry so benchmark reports can read them uniformly.
+        self._hit_counter = self._miss_counter = None
+        if obs is not None:
+            self._hit_counter = obs.metrics.counter(
+                "tiera_page_cache_hits_total", "Page-cache block hits."
+            )
+            self._miss_counter = obs.metrics.counter(
+                "tiera_page_cache_misses_total", "Page-cache block misses."
+            )
 
     @property
     def used(self) -> int:
@@ -37,9 +48,13 @@ class PageCache:
         page = self._pages.get((path, block))
         if page is None:
             self.misses += 1
+            if self._miss_counter is not None:
+                self._miss_counter.inc(cache=self.name)
             return None
         self._pages.move_to_end((path, block))
         self.hits += 1
+        if self._hit_counter is not None:
+            self._hit_counter.inc(cache=self.name)
         return page
 
     def put(self, path: str, block: int, data: bytes) -> None:

@@ -25,6 +25,7 @@ from repro.simcloud.resources import RequestContext
 
 PROBE_INTERVAL = 120.0  # "writes data ... on a 2 minute schedule"
 RETRIES = 2
+CANARY_KEY = "__monitor_canary__"
 
 
 class StorageMonitor:
@@ -45,6 +46,15 @@ class StorageMonitor:
         self.failures_seen = 0
         self.repaired = False
         self._timer: Optional[Timer] = None
+        self._obs = getattr(server, "obs", None)
+        self._probe_counter = (
+            self._obs.metrics.counter(
+                "tiera_monitor_probes_total",
+                "Monitor canary probes by outcome.",
+            )
+            if self._obs is not None
+            else None
+        )
 
     def start(self) -> "StorageMonitor":
         self._timer = self.server.clock.schedule_repeating(
@@ -58,18 +68,49 @@ class StorageMonitor:
             self._timer = None
 
     def probe(self) -> None:
-        """One canary write, with immediate retries on failure."""
+        """One canary write, with immediate retries on failure.
+
+        A single canary key is overwritten on every probe and deleted
+        again after a healthy one, so probing leaves no objects behind
+        (earlier versions wrote ``__monitor_canary_<n>`` and leaked one
+        object per probe into every tier the policy touched).
+        """
         self.probes += 1
-        key = f"__monitor_canary_{self.probes}"
         payload = b"canary" * 16
+        error: Optional[str] = None
         for _ in range(self.retries):
             ctx = RequestContext(self.server.clock)
             try:
-                self.server.put(key, payload, tags=("monitor",), ctx=ctx)
-                return  # healthy
-            except (TieraError, SimCloudError):
+                self.server.put(CANARY_KEY, payload, tags=("monitor",), ctx=ctx)
+            except (TieraError, SimCloudError) as exc:
+                error = f"{type(exc).__name__}: {exc}"
                 continue
+            try:
+                self.server.delete(CANARY_KEY)
+            except (TieraError, SimCloudError):
+                pass  # cleanup is best-effort; the write proved health
+            self._record("healthy", None)
+            return
         self.failures_seen += 1
+        self._record("failed", error)
         if not self.repaired:
             self.repaired = True
             self.on_failure()
+
+    def _record(self, outcome: str, error: Optional[str]) -> None:
+        if self._obs is None:
+            return
+        self._probe_counter.inc(outcome=outcome)
+        from repro.obs.audit import AuditRecord
+
+        self._obs.audit.append(
+            AuditRecord(
+                time=self.server.clock.now(),
+                category="probe",
+                name="storage-monitor",
+                origin="monitor",
+                foreground=False,
+                error=error,
+                detail={"probe": self.probes, "outcome": outcome},
+            )
+        )

@@ -1,0 +1,41 @@
+"""Unified observability: metrics registry, request tracing, audit log.
+
+Tiera's policies move data between tiers behind the application's back;
+this package is how you find out what actually happened.  Three pillars,
+bundled by :class:`~repro.obs.hub.Observability`:
+
+* a **metrics registry** (:mod:`repro.obs.registry`) — labelled
+  counters, gauges, and histograms, stamped with simulated-clock time,
+  exportable as a JSON snapshot or Prometheus text exposition;
+* **request tracing** (:mod:`repro.obs.trace`) — every PUT/GET/DELETE
+  can open a trace whose child spans record each tier operation and
+  each policy rule run on the client path (foreground) or off it
+  (background);
+* a **policy audit log** (:mod:`repro.obs.audit`) — a bounded ring of
+  structured records, one per rule firing / monitor probe / background
+  failure, so "which rule fired and what did it cost?" has an answer.
+
+None of it spends *virtual* time: observation never distorts the
+simulated latencies the benchmarks report.  See docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.audit import AuditLog, AuditRecord
+from repro.obs.export import render_prometheus, stats_snapshot, tier_report
+from repro.obs.hub import Observability
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "render_prometheus",
+    "stats_snapshot",
+    "tier_report",
+]

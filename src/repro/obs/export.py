@@ -1,0 +1,150 @@
+"""Exports: Prometheus text exposition, JSON snapshots, bench deltas.
+
+Three consumers, three shapes:
+
+* ``render_prometheus`` — the standard text exposition format, for the
+  RPC ``stats`` verb and the CLI (``format=prometheus``);
+* ``stats_snapshot`` — a JSON-able dict of every metric family plus the
+  audit-log tail, for programmatic readers;
+* ``parse_labels`` / ``tier_report`` — turn two registry snapshots
+  (before/after a benchmark window) into the per-tier hit counts and
+  latency contributions the benchmark reports attach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _fmt_labelset(labelset: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in labelset]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (v0.0.4)."""
+    registry.collect()
+    lines: List[str] = []
+    for metric in registry:
+        lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for labelset in metric.label_sets():
+                labels = dict(labelset)
+                for bound, cumulative in metric.cumulative(**labels):
+                    le = _fmt_labelset(labelset, f'le="{_fmt_value(bound)}"')
+                    lines.append(f"{metric.name}_bucket{le} {cumulative}")
+                suffix = _fmt_labelset(labelset)
+                lines.append(
+                    f"{metric.name}_sum{suffix} {repr(metric.sum(**labels))}"
+                )
+                lines.append(
+                    f"{metric.name}_count{suffix} {metric.count(**labels)}"
+                )
+        else:
+            for labelset in metric.label_sets():
+                labels = dict(labelset)
+                value = metric.value(**labels)
+                lines.append(
+                    f"{metric.name}{_fmt_labelset(labelset)} {_fmt_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def stats_snapshot(obs, audit_limit: int = 50) -> Dict[str, object]:
+    """Everything a ``stats`` caller wants, as one JSON-able dict."""
+    snap = obs.metrics.snapshot()
+    snap["audit"] = {
+        "appended": obs.audit.appended,
+        "dropped": obs.audit.dropped,
+        "errors": obs.audit.error_count(),
+        "tail": obs.audit.to_dicts(limit=audit_limit),
+    }
+    snap["traces"] = {
+        "enabled": obs.tracer.enabled,
+        "retained": len(obs.tracer.recent()),
+        "dropped": obs.tracer.dropped,
+    }
+    return snap
+
+
+def parse_labels(rendered: str) -> Dict[str, str]:
+    """Inverse of the snapshot's ``k=v,k=v`` sample keys."""
+    if not rendered:
+        return {}
+    return dict(part.split("=", 1) for part in rendered.split(","))
+
+
+def _samples(snapshot: Dict[str, object], name: str) -> Dict[str, object]:
+    metrics = snapshot.get("metrics", {})
+    family = metrics.get(name)
+    return family["samples"] if family else {}
+
+
+def _counter_delta(before, after, name: str) -> Dict[str, float]:
+    prior = _samples(before, name) if before else {}
+    out: Dict[str, float] = {}
+    for key, value in _samples(after, name).items():
+        delta = value - prior.get(key, 0.0)
+        if delta:
+            out[key] = delta
+    return out
+
+
+def tier_report(
+    before: Optional[Dict[str, object]], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Per-tier/service activity between two registry snapshots.
+
+    Returns ``ops`` (service → op → count), ``seconds`` (service →
+    simulated seconds spent in its operations, queueing included),
+    ``gets_served`` (tier → GETs it answered), and ``cache`` (page-cache
+    hit/miss counts) — the breakdown a benchmark report attaches.
+    """
+    ops: Dict[str, Dict[str, float]] = {}
+    for key, delta in _counter_delta(before, after, "tiera_tier_ops_total").items():
+        labels = parse_labels(key)
+        service = labels.get("service", "?")
+        ops.setdefault(service, {})[labels.get("op", "?")] = delta
+
+    seconds: Dict[str, float] = {}
+    prior = _samples(before, "tiera_tier_op_seconds") if before else {}
+    for key, sample in _samples(after, "tiera_tier_op_seconds").items():
+        prev = prior.get(key, {"sum": 0.0})
+        delta = sample["sum"] - prev["sum"]
+        if delta:
+            service = parse_labels(key).get("service", "?")
+            seconds[service] = seconds.get(service, 0.0) + delta
+
+    gets: Dict[str, float] = {}
+    for key, delta in _counter_delta(
+        before, after, "tiera_gets_served_total"
+    ).items():
+        gets[parse_labels(key).get("tier", "?")] = delta
+
+    cache: Dict[str, float] = {}
+    for name, label in (
+        ("tiera_page_cache_hits_total", "hits"),
+        ("tiera_page_cache_misses_total", "misses"),
+    ):
+        total = sum(_counter_delta(before, after, name).values())
+        if total:
+            cache[label] = total
+
+    return {"ops": ops, "seconds": seconds, "gets_served": gets, "cache": cache}

@@ -90,3 +90,28 @@ class TieraClient:
 
     def tiers(self) -> List[Dict[str, Any]]:
         return self._call("tiers")
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self, format: str = "json", audit_limit: int = 50) -> Any:
+        """The server's observability snapshot.
+
+        ``format="json"`` returns the snapshot dict; ``"prometheus"``
+        returns the text exposition as a string.
+        """
+        result = self._call("stats", format=format, audit_limit=audit_limit)
+        if format == "prometheus":
+            return result["text"]
+        return result
+
+    def trace(
+        self, limit: int = 10, enable: Optional[bool] = None
+    ) -> Dict[str, Any]:
+        """Recent request traces; ``enable`` toggles tracing first."""
+        params: Dict[str, Any] = {"limit": limit}
+        if enable is not None:
+            params["enable"] = enable
+        return self._call("trace", **params)
+
+    def health(self) -> Dict[str, Any]:
+        return self._call("health")

@@ -157,6 +157,33 @@ class TieraRpcServer:
     def _method_ping(self, params: Dict[str, Any]) -> str:
         return "pong"
 
+    # -- introspection verbs (STATS / TRACE / HEALTH) -----------------------
+
+    def _method_stats(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Observability snapshot: JSON by default, Prometheus text on
+        ``format="prometheus"``."""
+        from repro.obs.export import render_prometheus, stats_snapshot
+
+        obs = self.tiera.obs
+        if params.get("format") == "prometheus":
+            return {"format": "prometheus", "text": render_prometheus(obs.metrics)}
+        return stats_snapshot(obs, audit_limit=int(params.get("audit_limit", 50)))
+
+    def _method_trace(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Inspect (and optionally toggle) per-request tracing."""
+        tracer = self.tiera.obs.tracer
+        if "enable" in params:
+            tracer.enabled = bool(params["enable"])
+        limit = int(params.get("limit", 10))
+        return {
+            "enabled": tracer.enabled,
+            "dropped": tracer.dropped,
+            "traces": [span.to_dict() for span in tracer.recent(limit)],
+        }
+
+    def _method_health(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return self.tiera.health()
+
     def _method_tiers(self, params: Dict[str, Any]) -> list:
         return [
             {

@@ -64,8 +64,13 @@ class Cluster:
     """
 
     def __init__(self, clock: Optional[Clock] = None, seed: int = 2014):
+        from repro.obs.hub import Observability  # avoid import cycle
+
         self.clock = clock if clock is not None else SimClock()
         self.rng = random.Random(seed)
+        #: the stack-wide observability hub: services provisioned on this
+        #: cluster, and Tiera instances built over them, record here.
+        self.obs = Observability(self.clock)
         self.zones: Dict[str, AvailabilityZone] = {}
         self.nodes: Dict[str, Node] = {}
         self._provision_count = 0

@@ -138,13 +138,19 @@ class RequestContext:
     the client-observed latency.
     """
 
-    __slots__ = ("clock", "start", "time", "hops")
+    __slots__ = ("clock", "start", "time", "hops", "span", "trace")
 
     def __init__(self, clock: Clock, at: Optional[float] = None):
         self.clock = clock
         self.start = clock.now() if at is None else at
         self.time = self.start
         self.hops: int = 0
+        #: current tracing span (rule or request) — instrumented layers
+        #: attach child spans here when tracing is active; ``None`` keeps
+        #: the hot path to a single identity check.
+        self.span = None
+        #: root span of the traced request this context belongs to.
+        self.trace = None
 
     def use(self, resource: Resource, service_time: float) -> None:
         """Queue on ``resource`` for ``service_time`` seconds of work."""
@@ -163,7 +169,9 @@ class RequestContext:
 
         Used when a policy does asynchronous work on behalf of a request
         (background responses): the background work starts now but its
-        time does not flow back into the client's latency.
+        time does not flow back into the client's latency.  The fork
+        carries no trace span — background work is attributed through
+        the audit log, not the client's trace.
         """
         return RequestContext(self.clock, at=self.time)
 

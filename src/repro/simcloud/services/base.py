@@ -48,6 +48,7 @@ class StorageService:
         rng: Optional[random.Random] = None,
         meter: Optional[CostMeter] = None,
         timeout: float = REQUEST_TIMEOUT,
+        obs=None,
     ):
         self.name = name
         self.node = node
@@ -62,6 +63,26 @@ class StorageService:
         self.op_counts: Dict[str, int] = {}
         self._data: Dict[str, bytes] = {}
         self._used = 0
+        #: observability hub (repro.obs) — optional; when present every
+        #: operation lands in the metrics registry under stable names.
+        self.obs = obs
+        if obs is not None:
+            self._ops_total = obs.metrics.counter(
+                "tiera_tier_ops_total",
+                "Operations performed against each storage service.",
+            )
+            self._op_bytes = obs.metrics.counter(
+                "tiera_tier_op_bytes_total",
+                "Payload bytes moved per service and operation.",
+            )
+            self._op_seconds = obs.metrics.histogram(
+                "tiera_tier_op_seconds",
+                "Simulated seconds per operation (queueing included).",
+            )
+            self._timeouts = obs.metrics.counter(
+                "tiera_service_timeouts_total",
+                "Requests that timed out against a failed service.",
+            )
         node.services.append(self)
 
     # -- accounting ------------------------------------------------------
@@ -105,10 +126,18 @@ class StorageService:
         """Charge one operation's time; raise if the service is down."""
         if not self.available:
             ctx.wait(self.timeout)
+            if self.obs is not None:
+                self._timeouts.inc(service=self.name)
             raise ServiceUnavailableError(self.name)
+        start = ctx.time
         service_time = self.latency.sample(self.rng, nbytes)
         ctx.use(self.resource, service_time)
         self._count(op)
+        if self.obs is not None:
+            self._ops_total.inc(service=self.name, op=op)
+            if nbytes:
+                self._op_bytes.inc(nbytes, service=self.name, op=op)
+            self._op_seconds.observe(ctx.time - start, service=self.name, op=op)
 
     # -- the storage API ---------------------------------------------------
 

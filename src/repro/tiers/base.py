@@ -99,6 +99,20 @@ class Tier:
         ):
             ctx.wait(CROSS_ZONE_LATENCY)
 
+    def _span(self, ctx: RequestContext, op: str, key: str):
+        """Open a tier-op child span when the request is being traced."""
+        if ctx.span is None:
+            return None
+        return ctx.span.child(
+            f"{self.name}.{op}",
+            "tier-op",
+            ctx.time,
+            op=op,
+            key=key,
+            tier=self.name,
+            service=self.service.name,
+        )
+
     def put(self, key: str, data: bytes, ctx: RequestContext) -> None:
         if not self.can_fit(len(data) - self._existing_size(key)):
             raise CapacityExceededError(
@@ -106,21 +120,52 @@ class Tier:
                 needed=len(data),
                 available=(self.capacity or 0) - self.used,
             )
-        self._network(ctx)
-        self.service.put(key, data, ctx)
+        span = self._span(ctx, "put", key)
+        try:
+            self._network(ctx)
+            self.service.put(key, data, ctx)
+        except Exception as exc:
+            if span is not None:
+                span.error = type(exc).__name__
+                span.finish(ctx.time)
+            raise
+        if span is not None:
+            span.attrs["bytes"] = len(data)
+            span.finish(ctx.time)
         self._order[key] = None
         self._order.move_to_end(key)
 
     def get(self, key: str, ctx: RequestContext) -> bytes:
-        self._network(ctx)
-        data = self.service.get(key, ctx)
+        span = self._span(ctx, "get", key)
+        try:
+            self._network(ctx)
+            data = self.service.get(key, ctx)
+        except Exception as exc:
+            if span is not None:
+                span.error = type(exc).__name__
+                span.attrs["hit"] = False
+                span.finish(ctx.time)
+            raise
+        if span is not None:
+            span.attrs["bytes"] = len(data)
+            span.attrs["hit"] = True
+            span.finish(ctx.time)
         if key in self._order:
             self._order.move_to_end(key)
         return data
 
     def delete(self, key: str, ctx: RequestContext) -> None:
-        self._network(ctx)
-        self.service.delete(key, ctx)
+        span = self._span(ctx, "delete", key)
+        try:
+            self._network(ctx)
+            self.service.delete(key, ctx)
+        except Exception as exc:
+            if span is not None:
+                span.error = type(exc).__name__
+                span.finish(ctx.time)
+            raise
+        if span is not None:
+            span.finish(ctx.time)
         self._order.pop(key, None)
 
     def contains(self, key: str) -> bool:

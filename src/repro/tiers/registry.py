@@ -87,6 +87,7 @@ class TierRegistry:
             node = self.cluster.add_node(node_name, zone=zone)
             if service_cls is SimObjectStore:
                 size = None  # S3 is not provisioned by size
+            kwargs.setdefault("obs", self.cluster.obs)
             service = service_cls(
                 name=f"{product.lower()}-{self._counter}",
                 node=node,

@@ -26,6 +26,9 @@ class TestExamples:
         assert "PUT took" in out
         assert "after 31 s" in out
         assert "compress-on-insert" in out
+        assert "traced GET served by tier1" in out
+        assert "stats snapshot at" in out
+        assert "tiera_requests_total{op=get} = 2" in out
 
     def test_dedup_backup(self):
         out = run_example("dedup_backup.py")

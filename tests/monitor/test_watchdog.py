@@ -49,6 +49,31 @@ class TestMonitor:
         cluster.clock.advance(600)
         assert monitor.probes == 1
 
+    def test_canary_objects_do_not_accumulate(self, stack):
+        """The leak fix: probing leaves no objects behind."""
+        instance, server, cluster = stack
+        StorageMonitor(server, on_failure=lambda: None).start()
+        cluster.clock.advance(600)  # 5 probes
+        assert instance.object_count() == 0
+        assert not server.contains("__monitor_canary__")
+
+    def test_probe_outcomes_recorded(self, stack):
+        instance, server, cluster = stack
+        monitor = StorageMonitor(server, on_failure=lambda: None).start()
+        cluster.clock.advance(250)  # two healthy probes
+        instance.tiers.get("tier2").service.fail()
+        cluster.clock.advance(120)  # one failed probe
+
+        probes = instance.obs.metrics.get("tiera_monitor_probes_total")
+        assert probes.value(outcome="healthy") == 2
+        assert probes.value(outcome="failed") == 1
+        records = instance.obs.audit.records(category="probe")
+        assert [r.detail["outcome"] for r in records] == [
+            "healthy", "healthy", "failed"
+        ]
+        assert records[-1].error is not None
+        assert monitor.failures_seen == 1
+
     def test_full_figure17_repair(self, stack, registry):
         """Failure → detection → reconfiguration → service restored."""
         instance, server, cluster = stack

@@ -1,0 +1,117 @@
+"""Exports: Prometheus text format, stats snapshots, bench tier reports."""
+
+import pytest
+
+from repro.obs.export import (
+    parse_labels,
+    render_prometheus,
+    stats_snapshot,
+    tier_report,
+)
+from repro.obs.hub import Observability
+from repro.obs.registry import MetricsRegistry
+from repro.simcloud.clock import SimClock
+
+
+class TestPrometheusRendering:
+    def test_counter_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("tiera_x_total", "Help text.").inc(2, op="get")
+        text = render_prometheus(registry)
+        assert "# HELP tiera_x_total Help text." in text
+        assert "# TYPE tiera_x_total counter" in text
+        assert 'tiera_x_total{op="get"} 2' in text
+        assert text.endswith("\n")
+
+    def test_unlabelled_sample_has_no_braces(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.5)
+        assert "\ng 1.5\n" in render_prometheus(registry)
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.1, 1.0))
+        hist.observe(0.05, op="get")
+        hist.observe(0.5, op="get")
+        text = render_prometheus(registry)
+        assert 'h_bucket{op="get",le="0.1"} 1' in text
+        assert 'h_bucket{op="get",le="1"} 2' in text
+        assert 'h_bucket{op="get",le="+Inf"} 2' in text
+        assert 'h_sum{op="get"} 0.55' in text
+        assert 'h_count{op="get"} 2' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(name='we"ird\\thing')
+        text = render_prometheus(registry)
+        assert r'c{name="we\"ird\\thing"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestParseLabels:
+    def test_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(op="get", service="mem-1")
+        (key,) = registry.snapshot()["metrics"]["c"]["samples"]
+        assert parse_labels(key) == {"op": "get", "service": "mem-1"}
+
+    def test_empty_string(self):
+        assert parse_labels("") == {}
+
+
+class TestStatsSnapshot:
+    def test_includes_audit_and_traces(self):
+        obs = Observability(SimClock())
+        obs.metrics.counter("c").inc()
+        snap = stats_snapshot(obs, audit_limit=5)
+        assert snap["metrics"]["c"]["samples"] == {"": 1.0}
+        assert snap["audit"] == {
+            "appended": 0, "dropped": 0, "errors": 0, "tail": []
+        }
+        assert snap["traces"] == {
+            "enabled": False, "retained": 0, "dropped": 0
+        }
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        obs = Observability(SimClock())
+        obs.metrics.histogram("h").observe(0.1, op="get")
+        json.dumps(stats_snapshot(obs))  # must not raise
+
+
+class TestTierReport:
+    def _snapshot(self, fill):
+        registry = MetricsRegistry()
+        ops = registry.counter("tiera_tier_ops_total")
+        seconds = registry.histogram("tiera_tier_op_seconds", buckets=(1.0,))
+        served = registry.counter("tiera_gets_served_total")
+        hits = registry.counter("tiera_page_cache_hits_total")
+        for _ in range(fill):
+            ops.inc(service="mem", op="get")
+            seconds.observe(0.002, service="mem", op="get")
+            served.inc(tier="tier1")
+            hits.inc(cache="page-cache")
+        return registry.snapshot()
+
+    def test_deltas_between_snapshots(self):
+        before = self._snapshot(2)
+        after = self._snapshot(5)
+        report = tier_report(before, after)
+        assert report["ops"] == {"mem": {"get": 3.0}}
+        assert report["seconds"]["mem"] == pytest.approx(0.006)
+        assert report["gets_served"] == {"tier1": 3.0}
+        assert report["cache"] == {"hits": 3.0}
+
+    def test_none_before_means_absolute(self):
+        report = tier_report(None, self._snapshot(4))
+        assert report["ops"] == {"mem": {"get": 4.0}}
+
+    def test_zero_delta_families_omitted(self):
+        snap = self._snapshot(3)
+        report = tier_report(snap, snap)
+        assert report == {
+            "ops": {}, "seconds": {}, "gets_served": {}, "cache": {}
+        }

@@ -100,6 +100,80 @@ class TestRpcRoundtrip:
         assert excinfo.value.error_type == "UnknownMethod"
 
 
+class TestIntrospection:
+    def test_stats_snapshot(self, client):
+        client.put("k", b"v")
+        snap = client.stats()
+        requests = snap["metrics"]["tiera_requests_total"]["samples"]
+        assert requests["op=put"] == 1
+        assert snap["audit"]["appended"] >= 1
+        assert snap["traces"]["enabled"] is False
+
+    def test_stats_prometheus_text(self, client):
+        client.put("k", b"v")
+        text = client.stats(format="prometheus")
+        assert isinstance(text, str)
+        assert "# TYPE tiera_requests_total counter" in text
+        assert 'tiera_requests_total{op="put"} 1' in text
+
+    def test_trace_toggle_and_fetch(self, client):
+        result = client.trace(enable=True)
+        assert result["enabled"] is True
+        client.put("k", b"v")
+        client.get("k")
+        result = client.trace(limit=5, enable=False)
+        assert result["enabled"] is False
+        ops = [t["attrs"]["op"] for t in result["traces"]]
+        assert ops == ["put", "get"]
+        get_trace = result["traces"][-1]
+        assert get_trace["attrs"]["served_by"] in ("tier1", "tier2")
+
+    def test_health(self, client):
+        client.put("k", b"v")
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["objects"] == 1
+        assert health["rules_fired"] == {"write-through": 1}
+
+    def test_cli_stats_summary(self, live_server, capsys):
+        from repro.cli import main
+
+        with TieraClient(live_server.host, live_server.port) as conn:
+            conn.put("k", b"v")
+        assert main(
+            ["stats", "--port", str(live_server.port)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "instance rpc-test — status ok" in out
+        assert "tier tier1 (memcached)" in out
+        assert "rules fired: write-through×1" in out
+
+    def test_cli_stats_prometheus(self, live_server, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["stats", "--port", str(live_server.port), "--format", "prometheus"]
+        ) == 0
+        assert "# TYPE tiera_tier_ops_total counter" in capsys.readouterr().out
+
+    def test_cli_stats_json(self, live_server, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(
+            ["stats", "--port", str(live_server.port), "--format", "json"]
+        ) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert "metrics" in snap and "audit" in snap
+
+    def test_cli_stats_connection_refused(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "--port", "1"]) == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+
 class TestConcurrency:
     def test_parallel_clients(self, live_server):
         errors = []
