@@ -1,0 +1,120 @@
+"""Chaos matrix: scenarios × deployments, baseline vs resilience layer.
+
+Not a paper figure — this extends the Figure 17 robustness story from
+one failure shape (a hard EBS outage healed by human-scale
+reconfiguration minutes later) to the messier weather real tiered
+stores see: transient error bursts, latency spikes, flapping services,
+and silent bit rot.  For every (scenario, deployment) cell the same
+seeded run executes twice, with and without the resilience layer
+(retries + circuit breakers + degraded-mode writes + verifying reads),
+and the table reports client-visible availability, p99 latency, mean
+time to recovery, and corrupt bytes served.
+
+Headline cell (the claim the assertions pin): a 20 % EBS error rate
+for two virtual minutes against the write-through instance.  The
+baseline shows a client-visible outage (~10 % of PUTs fail); the
+resilient run stays at ≥ 99 % availability on every operation, serves
+every GET from intact replicas, redirects the writes that exhaust
+their retries, and replays all of them to EBS once the weather passes
+— the repair queue ends the run empty.
+"""
+
+from __future__ import annotations
+
+from repro.bench.chaos import run_chaos, run_matrix
+from repro.bench.report import format_table
+
+SEED = 2014
+DURATION = 240.0
+
+
+def _row(report):
+    latency = report["latency_seconds"]
+    p99 = max((v["p99"] for v in latency.values()), default=0.0)
+    res = report.get("resilience", {})
+    return [
+        report["scenario"]["name"],
+        report["deployment"],
+        "resilient" if report["resilient"] else "baseline",
+        f"{report['availability']['overall'] * 100:.2f}",
+        f"{p99 * 1000:.1f}",
+        f"{report['mttr']['mean_seconds']:.3f}",
+        report["corrupt_reads"],
+        res.get("retries", 0),
+        res.get("degraded_writes", 0),
+        res.get("replays", 0),
+    ]
+
+
+def test_chaos_matrix(benchmark, emit):
+    table = {}
+
+    def experiment():
+        table["reports"] = run_matrix(seed=SEED, duration=DURATION)
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    reports = table["reports"]
+    rows = [_row(r) for r in reports]
+    text = format_table(
+        "Chaos matrix — availability / p99 / MTTR, baseline vs resilient",
+        [
+            "scenario", "deployment", "mode", "avail %", "p99 ms",
+            "mttr s", "corrupt", "retries", "degraded", "replayed",
+        ],
+        rows,
+        note=(
+            "Same seed drives each baseline/resilient pair; the only "
+            "difference is the resilience layer.  'corrupt' counts GETs "
+            "that returned bytes differing from what was last written."
+        ),
+    )
+    emit("chaos_matrix", text)
+
+    by_cell = {
+        (r["scenario"]["name"], r["deployment"], r["resilient"]): r
+        for r in reports
+    }
+    # Headline: 20 % EBS transient errors for 2 virtual minutes.
+    base = by_cell[("transient-errors", "write-through", False)]
+    res = by_cell[("transient-errors", "write-through", True)]
+    assert base["availability"]["put"] < 0.95      # visible outage
+    assert res["availability"]["get"] >= 0.99
+    assert res["availability"]["put"] >= 0.99
+    assert res["availability"]["overall"] >= 0.99
+    queue = res["resilience"]["repair_queue"]
+    assert res["resilience"]["retries"] > 0
+    assert queue["enqueued"] > 0                   # writes were redirected
+    assert queue["pending"] == 0                   # ...and all replayed
+    assert queue["enqueued"] == res["resilience"]["replays"]
+    # Bit rot: the baseline serves corrupt bytes, verifying reads do not.
+    rot_base = by_cell[("bitrot", "write-through", False)]
+    rot_res = by_cell[("bitrot", "write-through", True)]
+    assert rot_base["corrupt_reads"] > 0
+    assert rot_res["corrupt_reads"] == 0
+    assert rot_res["resilience"]["read_repairs"] > 0
+
+
+def test_chaos_determinism_same_seed(benchmark, emit):
+    """The CI chaos contract, asserted here too: one seed, two runs,
+    byte-identical reports (fault sequence, retry counts, final state)."""
+    import json
+
+    table = {}
+
+    def experiment():
+        table["a"] = run_chaos(
+            scenario="transient-errors", seed=SEED, duration=120.0
+        )
+        table["b"] = run_chaos(
+            scenario="transient-errors", seed=SEED, duration=120.0
+        )
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    a = json.dumps(table["a"], sort_keys=True)
+    b = json.dumps(table["b"], sort_keys=True)
+    assert a == b
+    emit(
+        "chaos_determinism",
+        "Chaos determinism — same seed, two runs: reports byte-identical "
+        f"({len(a)} bytes, state digest {table['a']['state_digest'][:16]}…)",
+    )

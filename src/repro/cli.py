@@ -12,6 +12,10 @@ Commands mirror how the paper's prototype is operated:
 * ``stats --port P [--host H] [--format json|prometheus|summary]`` —
   query a running server's observability snapshot over RPC (the STATS
   verb): metric registry, audit-log tail, health summary.
+* ``chaos [--scenario S] [--seed N] [--baseline] ...`` — run one
+  deterministic fault-injection scenario against a canned deployment
+  and print the JSON report.  Same seed ⇒ byte-identical output: the
+  CI chaos job diffs two runs of this command.
 """
 
 from __future__ import annotations
@@ -151,8 +155,19 @@ def cmd_stats(options) -> int:
         for tier in health["tiers"]:
             cap = "∞" if tier["capacity"] is None else str(tier["capacity"])
             state = "up" if tier["available"] else "DOWN"
+            extra = ""
+            if tier.get("breaker") is not None:
+                extra = f", breaker {tier['breaker']}"
+                if tier.get("pending_repairs"):
+                    extra += f", {tier['pending_repairs']} repairs queued"
             print(f"  tier {tier['name']} ({tier['kind']}): "
-                  f"{tier['used']}/{cap} bytes, {state}")
+                  f"{tier['used']}/{cap} bytes, {state}{extra}")
+        resilience = health.get("resilience")
+        if resilience:
+            print(f"  resilience: {resilience['retries']} retries, "
+                  f"{resilience['degraded_writes']} degraded writes, "
+                  f"{resilience['replays']} repairs replayed "
+                  f"({resilience['repair_queue']['pending']} pending)")
         fired = health["rules_fired"]
         if fired:
             print("  rules fired:", ", ".join(
@@ -165,6 +180,33 @@ def cmd_stats(options) -> int:
             error = f" ERROR {record['error']}" if record.get("error") else ""
             print(f"  [{record['time']:.3f}] {record['category']} "
                   f"{record['name']} ({record['origin']}){error}")
+    return 0
+
+
+def cmd_chaos(options) -> int:
+    from repro.bench.chaos import DEPLOYMENTS, run_chaos
+    from repro.simcloud.faults import SCENARIOS
+
+    if options.list:
+        for name in sorted(SCENARIOS):
+            events = SCENARIOS[name].describe()["events"]
+            shapes = ", ".join(e["profile"]["name"] for e in events)
+            print(f"{name}: {shapes}")
+        print("deployments:", ", ".join(DEPLOYMENTS))
+        return 0
+    try:
+        report = run_chaos(
+            scenario=options.scenario,
+            deployment=options.deployment,
+            seed=options.seed,
+            resilient=not options.baseline,
+            duration=options.duration,
+            clients=options.clients,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report, indent=2, sort_keys=True))
     return 0
 
 
@@ -199,6 +241,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--format", choices=("summary", "json", "prometheus"), default="summary"
     )
     stats.set_defaults(func=cmd_stats)
+
+    chaos = commands.add_parser(
+        "chaos", help="run a deterministic fault-injection scenario"
+    )
+    chaos.add_argument("--scenario", default="transient-errors")
+    chaos.add_argument("--deployment", default="write-through")
+    chaos.add_argument("--seed", type=int, default=2014)
+    chaos.add_argument("--duration", type=float, default=120.0)
+    chaos.add_argument("--clients", type=int, default=4)
+    chaos.add_argument(
+        "--baseline", action="store_true",
+        help="run without the resilience layer",
+    )
+    chaos.add_argument(
+        "--list", action="store_true",
+        help="list known scenarios and deployments",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     options = parser.parse_args(argv)
     try:

@@ -24,12 +24,47 @@ class UnknownTierError(TieraError, KeyError):
 
 
 class TierUnavailableError(TieraError):
-    """Every tier that could serve the request is failed/unreachable."""
+    """Every tier that could serve the request is failed/unreachable.
 
-    def __init__(self, key: str, detail: str = ""):
+    ``causes`` carries one ``(tier_name, exception)`` pair per tier that
+    was tried, so callers (and humans reading the message) see *every*
+    per-tier failure, not just whichever happened last.  The raiser also
+    chains the final cause via ``raise ... from``.
+    """
+
+    def __init__(self, key: str, detail: str = "", causes=()):
         self.key = key
+        self.causes = list(causes)
+        if self.causes and not detail:
+            detail = "; ".join(
+                f"{tier}: {type(exc).__name__}: {exc}"
+                for tier, exc in self.causes
+            )
         super().__init__(
             f"no available tier can serve {key!r}" + (f": {detail}" if detail else "")
+        )
+
+
+class CorruptObjectError(TieraError):
+    """A tier returned bytes whose checksum does not match the object's
+    recorded content fingerprint (bit rot caught by a verifying read)."""
+
+    def __init__(self, key: str, tier: str):
+        self.key = key
+        self.tier = tier
+        super().__init__(f"object {key!r} read from {tier!r} fails checksum")
+
+
+class BreakerOpenError(TieraError):
+    """The tier's circuit breaker is open: the resilience layer refused
+    the operation without touching the (presumed still sick) service."""
+
+    def __init__(self, tier: str, until: float = 0.0):
+        self.tier = tier
+        self.until = until
+        super().__init__(
+            f"circuit breaker for tier {tier!r} is open"
+            + (f" until t={until:.3f}" if until else "")
         )
 
 

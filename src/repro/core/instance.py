@@ -14,6 +14,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 from repro.core.control import ControlLayer
 from repro.core.errors import (
+    BreakerOpenError,
+    CorruptObjectError,
     NoCapacityError,
     NoSuchObjectError,
     TierUnavailableError,
@@ -95,6 +97,10 @@ class TieraInstance:
         self.versioning_enabled = False
         self.versioning_tier: Optional[str] = None
         self.max_versions = 3
+        #: resilience layer (retries / breakers / degraded writes) —
+        #: opt-in via :meth:`enable_resilience`; ``None`` keeps the data
+        #: path exactly as before (no extra checks, no RNG).
+        self.resilience = None
         self._load_metadata()
         self.control.start()
 
@@ -205,6 +211,7 @@ class TieraInstance:
         tier_name: str,
         ctx: RequestContext,
         evict_to: Optional[str] = None,
+        redirect: bool = True,
     ) -> None:
         """Place ``data`` for ``key`` in a tier, evicting LRU residents if
         the tier cannot fit it.
@@ -214,8 +221,23 @@ class TieraInstance:
         special target :data:`DROP` discards victims from this tier
         without relocating them — valid only for victims that also live
         in some other tier (a cache over a durable store, Figure 12).
+
+        With the resilience layer enabled the put runs under breaker +
+        retry policy, and on final failure (``redirect=True``) the write
+        degrades to a surviving tier, leaving a repair task behind.
+        ``redirect=False`` is the layer's own writes — fallbacks,
+        repairs — which must fail rather than cascade.
         """
         tier = self.tiers.get(tier_name)
+        res = self.resilience
+        if res is not None and not res.allow(tier):
+            # Fail fast: an open breaker means we do not even try (no
+            # 5-second timeout charged against a known-sick tier).
+            err = res.open_error(tier)
+            if redirect:
+                res.redirect_write(key, data, tier_name, ctx, err)
+                return
+            raise err
         incoming = len(data) - (
             tier.service.size_of(key) if tier.contains(key) else 0
         )
@@ -225,7 +247,16 @@ class TieraInstance:
             self._make_room(tier, incoming, evict_to, ctx, protect=key)
         if not tier.can_fit(incoming):
             raise NoCapacityError(tier_name, key)
-        tier.put(key, data, ctx)
+        if res is None:
+            tier.put(key, data, ctx)
+        else:
+            try:
+                res.guarded_put(tier, key, data, ctx)
+            except (ServiceUnavailableError, BreakerOpenError) as exc:
+                if not redirect:
+                    raise
+                res.redirect_write(key, data, tier_name, ctx, exc)
+                return
         meta = self.meta(key)
         meta.locations.add(tier_name)
         meta.size = len(data)
@@ -289,23 +320,60 @@ class TieraInstance:
         )
         if not candidates:
             raise NoSuchObjectError(key)
-        last_error: Optional[Exception] = None
+        res = self.resilience
+        causes: List = []  # (tier_name, exception) per tier tried
+        corrupted: List[str] = []
+        served: Optional[Tier] = None
+        data = b""
         for tier in candidates:
             if not tier.available:
-                last_error = ServiceUnavailableError(tier.name)
+                causes.append((
+                    tier.name,
+                    ServiceUnavailableError(
+                        tier.service.name,
+                        node=tier.service.node.name,
+                        zone=tier.service.node.zone.name,
+                    ),
+                ))
                 continue
             try:
-                data = tier.get(physical, ctx)
-            except ServiceUnavailableError as exc:
-                last_error = exc
+                if res is None:
+                    data = tier.get(physical, ctx)
+                else:
+                    data = res.attempt(
+                        tier, "get", lambda t=tier: t.get(physical, ctx), ctx
+                    )
+            except BreakerOpenError as exc:
+                causes.append((tier.name, exc))
                 continue
-            # The "which tier served this GET?" answer, both aggregate
-            # (registry counter) and per-request (trace root attribute).
-            self._gets_served.inc(tier=tier.name)
-            if ctx.trace is not None:
-                ctx.trace.attrs["served_by"] = tier.name
-            return data
-        raise TierUnavailableError(key, detail=str(last_error))
+            except ServiceUnavailableError as exc:
+                causes.append((tier.name, exc))
+                continue
+            if (
+                res is not None
+                and res.verifiable(meta)
+                and not res.verify(meta, data)
+            ):
+                # This copy is rotten: skip the tier (failover read) and
+                # remember it for background read-repair from a good one.
+                res.note_corruption(tier, physical)
+                causes.append((tier.name, CorruptObjectError(physical, tier.name)))
+                corrupted.append(tier.name)
+                continue
+            served = tier
+            break
+        if served is None:
+            raise TierUnavailableError(key, causes=causes) from (
+                causes[-1][1] if causes else None
+            )
+        if corrupted and res is not None:
+            res.read_repair(physical, data, corrupted, ctx)
+        # The "which tier served this GET?" answer, both aggregate
+        # (registry counter) and per-request (trace root attribute).
+        self._gets_served.inc(tier=served.name)
+        if ctx.trace is not None:
+            ctx.trace.attrs["served_by"] = served.name
+        return data
 
     def rewrite_everywhere(self, key: str, data: bytes, ctx: RequestContext) -> None:
         """Replace an object's bytes in every tier currently holding it."""
@@ -466,6 +534,48 @@ class TieraInstance:
         while len(versions) > self.max_versions:
             self.delete_object(versions.pop(0), ctx)
 
+    # -- resilience (retries / breakers / degraded-mode serving) ------------
+
+    def enable_resilience(self, config=None):
+        """Turn on the resilience layer for this instance's data path.
+
+        Idempotent; returns the layer.  ``config`` is a
+        :class:`~repro.core.resilience.ResilienceConfig` (defaults
+        apply when omitted).  Enabling the layer with no faults active
+        changes nothing observable: the success path performs no RNG
+        draws, schedules no clock events, and charges no virtual time.
+        """
+        if self.resilience is None:
+            from repro.core.resilience import ResilienceLayer
+
+            self.resilience = ResilienceLayer(self, config)
+        return self.resilience
+
+    def state_digest(self) -> str:
+        """Deterministic fingerprint of all stored state.
+
+        Hashes the metadata table (keys, sizes, locations, versions,
+        checksums) and every tier's physical contents; two runs of the
+        same seeded scenario must produce identical digests.  Metadata
+        only — computing it charges no virtual time.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for key in sorted(self._meta):
+            meta = self._meta[key]
+            h.update(key.encode("utf-8"))
+            h.update(str(meta.size).encode())
+            h.update(",".join(sorted(meta.locations)).encode())
+            h.update(str(meta.version).encode())
+            h.update(meta.checksum.encode())
+        for tier in self.tiers.ordered():
+            h.update(tier.name.encode("utf-8"))
+            for stored in sorted(tier.keys()):
+                h.update(stored.encode("utf-8"))
+                h.update(hashlib.sha256(tier.service._data[stored]).digest())
+        return h.hexdigest()
+
     # -- runtime reconfiguration (§4.2.3 / Figure 17) ----------------------
 
     def reconfigure(
@@ -539,6 +649,8 @@ class TieraInstance:
 
     def shutdown(self) -> None:
         self.control.shutdown()
+        if self.resilience is not None:
+            self.resilience.detach()
         self.obs.metrics.remove_collector(self._collect_gauges)
         self.metadata_store.close()
 

@@ -210,23 +210,31 @@ class TieraServer:
         """
         instance = self.instance
         control = instance.control
-        tiers = [
-            {
+        res = instance.resilience
+        tiers = []
+        for tier in instance.tiers:
+            entry = {
                 "name": tier.name,
                 "kind": tier.kind,
                 "used": tier.used,
                 "capacity": tier.capacity,
                 "available": tier.available,
+                "node": tier.service.node.name,
+                "zone": tier.service.node.zone.name,
             }
-            for tier in instance.tiers
-        ]
+            if res is not None:
+                entry["breaker"] = res.breaker(tier.name).state
+                entry["pending_repairs"] = res.repair_queue.pending(tier.name)
+            tiers.append(entry)
         errors = control.background_errors
         status = "ok"
-        if any(not t["available"] for t in tiers):
+        if any(not t["available"] for t in tiers) or any(
+            t.get("breaker") == "open" for t in tiers
+        ):
             status = "degraded"
         elif errors:
             status = "dirty"
-        return {
+        out = {
             "instance": instance.name,
             "time": self.clock.now(),
             "status": status,
@@ -240,6 +248,9 @@ class TieraServer:
             ],
             "audit_errors": instance.obs.audit.error_count(),
         }
+        if res is not None:
+            out["resilience"] = res.summary()
+        return out
 
     def last_trace(self):
         """The most recently completed request trace (or ``None``)."""

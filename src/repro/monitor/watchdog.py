@@ -90,6 +90,11 @@ class StorageMonitor:
             except (TieraError, SimCloudError):
                 pass  # cleanup is best-effort; the write proved health
             self._record("healthy", None)
+            res = self.server.instance.resilience
+            if res is not None:
+                # A healthy probe doubles as a recovery signal: kick the
+                # repair queue for any tier that is reachable again.
+                res.replay_pending()
             return
         self.failures_seen += 1
         self._record("failed", error)

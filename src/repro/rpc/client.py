@@ -115,3 +115,17 @@ class TieraClient:
 
     def health(self) -> Dict[str, Any]:
         return self._call("health")
+
+    def resilience(
+        self, enable: Optional[bool] = None, replay: bool = False
+    ) -> Dict[str, Any]:
+        """The resilience layer's summary (breakers, retries, repairs).
+
+        ``enable=True`` turns the layer on first; ``replay=True`` kicks
+        a repair-queue replay for reachable tiers."""
+        params: Dict[str, Any] = {}
+        if enable:
+            params["enable"] = True
+        if replay:
+            params["replay"] = True
+        return self._call("resilience", **params)

@@ -184,6 +184,24 @@ class TieraRpcServer:
     def _method_health(self, params: Dict[str, Any]) -> Dict[str, Any]:
         return self.tiera.health()
 
+    def _method_resilience(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Inspect (and optionally enable / kick) the resilience layer.
+
+        ``enable=true`` turns the layer on; ``replay=true`` kicks a
+        repair-queue replay for every tier that looks reachable.
+        """
+        instance = self.tiera.instance
+        if params.get("enable"):
+            instance.enable_resilience()
+        res = instance.resilience
+        if res is None:
+            return {"enabled": False}
+        out: Dict[str, Any] = {"enabled": True}
+        if params.get("replay"):
+            out["replay_kicked"] = res.replay_pending()
+        out.update(res.summary())
+        return out
+
     def _method_tiers(self, params: Dict[str, Any]) -> list:
         return [
             {

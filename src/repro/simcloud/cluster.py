@@ -65,15 +65,38 @@ class Cluster:
 
     def __init__(self, clock: Optional[Clock] = None, seed: int = 2014):
         from repro.obs.hub import Observability  # avoid import cycle
+        from repro.simcloud.faults import FaultInjector  # avoid import cycle
 
         self.clock = clock if clock is not None else SimClock()
         self.rng = random.Random(seed)
         #: the stack-wide observability hub: services provisioned on this
         #: cluster, and Tiera instances built over them, record here.
         self.obs = Observability(self.clock)
+        #: the stack-wide fault-injection engine.  Its RNG is a stream
+        #: separate from ``self.rng`` (which drives latency sampling),
+        #: so wiring it in perturbs nothing until a fault is scheduled —
+        #: and scheduling one is reproducible from the cluster seed.
+        self.faults = FaultInjector(
+            self.clock, rng=random.Random((seed << 1) ^ 0xFA17), obs=self.obs
+        )
         self.zones: Dict[str, AvailabilityZone] = {}
         self.nodes: Dict[str, Node] = {}
         self._provision_count = 0
+
+    def chaos(self, scenario, at: float = 0.0) -> None:
+        """Schedule a :class:`~repro.simcloud.faults.ChaosScenario`."""
+        self.faults.run_scenario(scenario, at=at)
+
+    def fail_zone(self, zone: str) -> None:
+        """Kill every node in an availability zone (regional outage)."""
+        for node in self.nodes.values():
+            if node.zone.name == zone:
+                node.fail()
+
+    def recover_zone(self, zone: str) -> None:
+        for node in self.nodes.values():
+            if node.zone.name == zone:
+                node.recover()
 
     def zone(self, name: str) -> AvailabilityZone:
         """Get or create the availability zone ``name``."""

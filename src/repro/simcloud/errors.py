@@ -12,12 +12,34 @@ class ServiceUnavailableError(SimCloudError):
 
     The paper simulates the 2011 EBS outage by timing out writes; the
     reproduction raises this after spending the configured timeout on the
-    request's virtual timeline.
+    request's virtual timeline.  ``node`` and ``zone`` identify *where*
+    the failure is, so failover decisions and audit records can tell a
+    dead node (or a whole dead zone) from a dead service.
     """
 
-    def __init__(self, service: str, message: str = ""):
+    def __init__(
+        self,
+        service: str,
+        message: str = "",
+        node: str = "",
+        zone: str = "",
+    ):
         self.service = service
-        super().__init__(message or f"service {service!r} is unavailable")
+        self.node = node
+        self.zone = zone
+        where = ""
+        if node or zone:
+            where = f" (node={node or '?'}, zone={zone or '?'})"
+        super().__init__(
+            message or f"service {service!r} is unavailable{where}"
+        )
+
+
+class TransientServiceError(ServiceUnavailableError):
+    """A retryable, injected failure: the op errored but the service is
+    not hard-down.  The resilience layer retries these (with backoff on
+    the virtual timeline); a plain :class:`ServiceUnavailableError`
+    (the full-timeout path) is not worth retrying against."""
 
 
 class CapacityExceededError(SimCloudError):

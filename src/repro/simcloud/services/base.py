@@ -49,6 +49,7 @@ class StorageService:
         meter: Optional[CostMeter] = None,
         timeout: float = REQUEST_TIMEOUT,
         obs=None,
+        faults=None,
     ):
         self.name = name
         self.node = node
@@ -63,6 +64,9 @@ class StorageService:
         self.op_counts: Dict[str, int] = {}
         self._data: Dict[str, bytes] = {}
         self._used = 0
+        #: fault-injection engine (repro.simcloud.faults) — optional;
+        #: when present, every operation offers the injector a hook.
+        self.faults = faults
         #: observability hub (repro.obs) — optional; when present every
         #: operation lands in the metrics registry under stable names.
         self.obs = obs
@@ -122,15 +126,31 @@ class StorageService:
     def available(self) -> bool:
         return not self.failed and not self.node.failed
 
+    def _op_multiplier(self, op: str) -> float:
+        """Service-time scaling per op kind (EBS barrier writes, etc.)."""
+        return 1.0
+
     def _perform(self, op: str, nbytes: int, ctx: RequestContext) -> None:
         """Charge one operation's time; raise if the service is down."""
         if not self.available:
             ctx.wait(self.timeout)
             if self.obs is not None:
                 self._timeouts.inc(service=self.name)
-            raise ServiceUnavailableError(self.name)
+            raise ServiceUnavailableError(
+                self.name, node=self.node.name, zone=self.node.zone.name
+            )
         start = ctx.time
         service_time = self.latency.sample(self.rng, nbytes)
+        multiplier = self._op_multiplier(op)
+        if multiplier != 1.0:
+            service_time *= multiplier
+        if self.faults is not None and self.faults.active:
+            # The injector may inflate the service time (latency spike,
+            # gray degradation) or abort the op (transient error, flap
+            # downtime) after charging its cost to the virtual timeline.
+            service_time = self.faults.before_op(
+                self, op, nbytes, service_time, ctx
+            )
         ctx.use(self.resource, service_time)
         self._count(op)
         if self.obs is not None:
@@ -163,6 +183,9 @@ class StorageService:
             raise NoSuchKeyError(self.name, key)
         data = self._data[key]
         self._perform("get", len(data), ctx)
+        if self.faults is not None and self.faults.active:
+            # Bit-rot hook: may silently corrupt the stored copy.
+            data = self.faults.on_read(self, key, data)
         return data
 
     def delete(self, key: str, ctx: RequestContext) -> None:

@@ -31,18 +31,8 @@ class SimBlockVolume(StorageService):
         super().__init__(*args, **kwargs)
         self._snapshots: Dict[str, Dict[str, bytes]] = {}
 
-    def _perform(self, op, nbytes, ctx):
-        if op == "put" and self.write_multiplier != 1.0:
-            if not self.available:
-                ctx.wait(self.timeout)
-                from repro.simcloud.errors import ServiceUnavailableError
-
-                raise ServiceUnavailableError(self.name)
-            service = self.latency.sample(self.rng, nbytes) * self.write_multiplier
-            ctx.use(self.resource, service)
-            self._count(op)
-            return
-        super()._perform(op, nbytes, ctx)
+    def _op_multiplier(self, op: str) -> float:
+        return self.write_multiplier if op == "put" else 1.0
 
     # EBS ops are billed per I/O request; the base class meters them via
     # kind-prefixed counters ("ebs.put" / "ebs.get").

@@ -88,6 +88,7 @@ class TierRegistry:
             if service_cls is SimObjectStore:
                 size = None  # S3 is not provisioned by size
             kwargs.setdefault("obs", self.cluster.obs)
+            kwargs.setdefault("faults", self.cluster.faults)
             service = service_cls(
                 name=f"{product.lower()}-{self._counter}",
                 node=node,

@@ -1,0 +1,138 @@
+"""Cluster lifecycle: provisioning delay, failure switches, timers.
+
+Complements ``test_services.py`` (which covers the per-service data
+paths): here the subject is the cluster itself — how a provisioned
+node boots, and how ``fail()``/``recover()`` interact with events
+already scheduled on the virtual clock.
+"""
+
+import pytest
+
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.errors import ServiceUnavailableError
+from repro.simcloud.latency import FixedLatency
+from repro.simcloud.resources import RequestContext
+from repro.simcloud.services import SimBlockVolume, SimMemcached
+
+
+def service_on(cluster, node, cls=SimBlockVolume, name="svc"):
+    return cls(
+        name=name,
+        node=node,
+        clock=cluster.clock,
+        rng=cluster.rng,
+        latency=FixedLatency(0.001),
+    )
+
+
+class TestProvisioning:
+    def test_node_boots_after_the_delay(self):
+        cluster = Cluster()
+        ready = []
+        node = cluster.provision_node(delay=60.0, on_ready=ready.append)
+        assert node.failed            # not booted yet
+        assert ready == []
+        cluster.clock.advance(59.0)
+        assert node.failed
+        cluster.clock.advance(2.0)
+        assert not node.failed
+        assert ready == [node]
+
+    def test_service_on_booting_node_times_out(self):
+        cluster = Cluster()
+        node = cluster.provision_node(delay=60.0)
+        svc = service_on(cluster, node)
+        ctx = RequestContext(cluster.clock)
+        with pytest.raises(ServiceUnavailableError) as info:
+            svc.put("k", b"v", ctx)
+        assert ctx.elapsed == pytest.approx(svc.timeout)
+        assert info.value.node == node.name   # the error says where
+        assert info.value.zone == node.zone.name
+        cluster.clock.advance(61.0)
+        svc.put("k", b"v", RequestContext(cluster.clock))  # now booted
+
+    def test_provisioned_names_and_ready_order(self):
+        cluster = Cluster()
+        order = []
+        slow = cluster.provision_node(delay=30.0, on_ready=order.append)
+        fast = cluster.provision_node(delay=10.0, on_ready=order.append)
+        assert slow.name == "provisioned-1"
+        assert fast.name == "provisioned-2"
+        cluster.clock.advance(31.0)
+        assert order == [fast, slow]  # readiness is by delay, not issue
+
+
+class TestFailRecoverWithInflightTimers:
+    def test_scheduled_recover_fires_while_requests_fail(self):
+        cluster = Cluster()
+        node = cluster.add_node("n")
+        svc = service_on(cluster, node)
+        svc.put("k", b"v", RequestContext(cluster.clock))
+        svc.fail()
+        cluster.clock.schedule(20.0, svc.recover)  # in-flight repair timer
+
+        ctx = RequestContext(cluster.clock)
+        with pytest.raises(ServiceUnavailableError):
+            svc.get("k", ctx)          # times out: still inside the window
+        cluster.clock.advance(21.0)    # the scheduled recover fires
+        assert svc.get("k", RequestContext(cluster.clock)) == b"v"
+
+    def test_cancelled_timer_does_not_recover(self):
+        cluster = Cluster()
+        node = cluster.add_node("n")
+        svc = service_on(cluster, node)
+        svc.fail()
+        timer = cluster.clock.schedule(20.0, svc.recover)
+        timer.cancel()
+        cluster.clock.advance(30.0)
+        assert not svc.available       # the repair never happened
+        svc.recover()
+        assert svc.available
+
+    def test_node_failure_does_not_stop_the_clock(self):
+        """Timers are simulation machinery, not node workload: a dead
+        node's pending events still fire (e.g. its own reboot)."""
+        cluster = Cluster()
+        node = cluster.add_node("n")
+        fired = []
+        cluster.clock.schedule(10.0, lambda: fired.append(cluster.clock.now()))
+        node.fail()
+        cluster.clock.advance(15.0)
+        assert fired == [10.0]
+        assert node.failed             # firing a timer healed nothing
+
+    def test_node_fail_drops_only_nondurable_data(self):
+        cluster = Cluster()
+        node = cluster.add_node("n")
+        mc = service_on(cluster, node, cls=SimMemcached, name="mc")
+        ebs = service_on(cluster, node, cls=SimBlockVolume, name="ebs")
+        mc.put("k", b"v", RequestContext(cluster.clock))
+        ebs.put("k", b"v", RequestContext(cluster.clock))
+        node.fail()
+        cluster.clock.schedule(5.0, node.recover)  # scheduled mid-outage
+        cluster.clock.advance(6.0)
+        assert not mc.contains("k")    # cache contents died with the node
+        assert ebs.contains("k")       # the volume survived
+
+
+class TestZones:
+    def test_fail_zone_hits_only_that_zone(self):
+        cluster = Cluster()
+        a = cluster.add_node("a", zone="us-east-1a")
+        b = cluster.add_node("b", zone="us-east-1b")
+        cluster.fail_zone("us-east-1a")
+        assert a.failed and not b.failed
+        cluster.recover_zone("us-east-1a")
+        assert not a.failed
+
+    def test_zone_outage_blocks_services_until_recovery(self):
+        cluster = Cluster()
+        node = cluster.add_node("a", zone="us-east-1a")
+        svc = service_on(cluster, node)
+        svc.put("k", b"v", RequestContext(cluster.clock))
+        cluster.fail_zone("us-east-1a")
+        cluster.clock.schedule(30.0, lambda: cluster.recover_zone("us-east-1a"))
+        with pytest.raises(ServiceUnavailableError):
+            svc.get("k", RequestContext(cluster.clock))
+        cluster.clock.advance(31.0)
+        assert svc.get("k", RequestContext(cluster.clock)) == b"v"
