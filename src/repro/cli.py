@@ -16,6 +16,14 @@ Commands mirror how the paper's prototype is operated:
   deterministic fault-injection scenario against a canned deployment
   and print the JSON report.  Same seed ⇒ byte-identical output: the
   CI chaos job diffs two runs of this command.
+* ``fsck --port P [--repair]`` — run the metadata/tier cross-check
+  scrub on a running server over RPC; ``--repair`` fixes findings.
+* ``snapshot --port P --out FILE`` / ``restore --port P FILE`` —
+  barman-style full backup and restore of a running instance's state.
+* ``crashsweep [--deployment D] [--seed N] ...`` — offline: crash a
+  scripted workload at every registered crash point, reopen, verify
+  recovery invariants, print the JSON report (byte-identical across
+  same-seed runs; the CI crash-matrix job diffs two runs).
 """
 
 from __future__ import annotations
@@ -210,6 +218,76 @@ def cmd_chaos(options) -> int:
     return 0
 
 
+def _connect(options):
+    from repro.rpc import TieraClient
+
+    try:
+        return TieraClient(options.host, options.port)
+    except OSError as exc:
+        print(f"cannot connect to {options.host}:{options.port}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def cmd_fsck(options) -> int:
+    client = _connect(options)
+    if client is None:
+        return 1
+    with client:
+        report = client.fsck(repair=options.repair)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["clean"] else 1
+
+
+def cmd_snapshot(options) -> int:
+    client = _connect(options)
+    if client is None:
+        return 1
+    with client:
+        result = client.snapshot(include_volatile=options.include_volatile)
+    with open(options.out, "wb") as handle:
+        handle.write(result["archive"])
+    manifest = result["manifest"]
+    print(f"snapshot of {manifest['instance']}: {manifest['objects']} objects, "
+          f"{len(result['archive'])} bytes -> {options.out}")
+    print(f"  state digest {manifest['state_digest']}")
+    return 0
+
+
+def cmd_restore(options) -> int:
+    client = _connect(options)
+    if client is None:
+        return 1
+    with open(options.archive, "rb") as handle:
+        blob = handle.read()
+    from repro.rpc import RpcError
+
+    with client:
+        try:
+            result = client.restore(blob)
+        except RpcError as exc:
+            print(f"restore failed: {exc}", file=sys.stderr)
+            return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0 if result.get("verified") else 1
+
+
+def cmd_crashsweep(options) -> int:
+    from repro.bench.crashsweep import run_crash_sweep
+
+    try:
+        report = run_crash_sweep(
+            deployment=options.deployment,
+            seed=options.seed,
+            max_points=options.max_points,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["summary"]["clean"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Tiera middleware (Middleware 2014 reproduction)"
@@ -259,6 +337,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="list known scenarios and deployments",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    fsck = commands.add_parser(
+        "fsck", help="scrub a running server's metadata vs tier contents"
+    )
+    fsck.add_argument("--host", default="127.0.0.1")
+    fsck.add_argument("--port", type=int, required=True)
+    fsck.add_argument(
+        "--repair", action="store_true", help="fix findings, not just report"
+    )
+    fsck.set_defaults(func=cmd_fsck)
+
+    snapshot = commands.add_parser(
+        "snapshot", help="pull a full snapshot of a running instance"
+    )
+    snapshot.add_argument("--host", default="127.0.0.1")
+    snapshot.add_argument("--port", type=int, required=True)
+    snapshot.add_argument("--out", required=True, help="archive file to write")
+    snapshot.add_argument(
+        "--include-volatile", action="store_true",
+        help="also archive volatile (memcached) tier contents",
+    )
+    snapshot.set_defaults(func=cmd_snapshot)
+
+    restore = commands.add_parser(
+        "restore", help="restore a running instance from a snapshot archive"
+    )
+    restore.add_argument("archive", help="archive file written by snapshot")
+    restore.add_argument("--host", default="127.0.0.1")
+    restore.add_argument("--port", type=int, required=True)
+    restore.set_defaults(func=cmd_restore)
+
+    crashsweep = commands.add_parser(
+        "crashsweep",
+        help="crash at every boundary of a scripted workload and verify recovery",
+    )
+    crashsweep.add_argument("--deployment", default="write-through")
+    crashsweep.add_argument("--seed", type=int, default=2014)
+    crashsweep.add_argument(
+        "--max-points", type=int, default=None,
+        help="sweep only the first N crash points",
+    )
+    crashsweep.set_defaults(func=cmd_crashsweep)
 
     options = parser.parse_args(argv)
     try:

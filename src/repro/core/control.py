@@ -27,7 +27,7 @@ from repro.core.policy import Policy, Rule
 from repro.obs.audit import AuditRecord
 from repro.obs.trace import Span
 from repro.simcloud.clock import Clock, Timer
-from repro.simcloud.errors import SimCloudError
+from repro.simcloud.errors import ProcessCrash, SimCloudError
 from repro.simcloud.resources import RequestContext
 
 #: CPU cost of evaluating one rule against one action (seconds).  A few
@@ -229,6 +229,13 @@ class ControlLayer:
             )
         ctx.span = span
         error: Optional[str] = None
+        # Scope record: marks the whole (possibly multi-step) response
+        # block as in flight so recovery can name rules cut short by a
+        # crash.  Committed on every exit except ProcessCrash — policy
+        # errors end the rule; only process death leaves it open.
+        dur = getattr(self.instance, "durability", None)
+        scope_seq = dur.begin_scope(rule.name, origin) if dur is not None else None
+        crashed = False
         try:
             for response in rule.responses:
                 try:
@@ -238,7 +245,12 @@ class ControlLayer:
                     if not swallow:
                         raise
                     self.background_errors.append((rule.name, exc))
+        except ProcessCrash:
+            crashed = True
+            raise
         finally:
+            if scope_seq is not None and not crashed:
+                dur.commit_scope(scope_seq)
             ctx.span = parent
             span.finish(ctx.time)
             span.error = error

@@ -1,0 +1,1004 @@
+"""Crash-consistent durability: intent journal, recovery, fsck, snapshots.
+
+The prototype persists object metadata in BerkeleyDB and sells
+durability as a policy property (§2.2, Figure 13), but metadata and tier
+contents are mutated in separate steps: a process death between them
+leaves orphaned replicas, ghost locations, or half-finished moves.  This
+module closes that window with a classic redo-logging design:
+
+* :class:`IntentJournal` — write-ahead intent records stored *in the
+  instance's metadata store* (they ride on the same synced log the
+  metadata does).  Every metadata-mutating primitive in
+  :class:`~repro.core.instance.TieraInstance` journals its full redo
+  plan (including the payload bytes) before touching any tier, and
+  deletes the record once both the tier and the metadata table agree.
+
+* :class:`DurabilityLayer` — per-instance façade: journaling hooks for
+  the primitives, lightweight *scope* records around multi-step policy
+  responses, :meth:`~DurabilityLayer.recover` (roll every pending intent
+  forward, then scrub), and :meth:`~DurabilityLayer.checkpoint`.
+
+* :func:`fsck` — the scrub: cross-checks the metadata table against
+  actual tier contents (ghosts, orphans, dangling aliases, checksum
+  mismatches, lost objects, under-replication vs. the policy's declared
+  durable insert targets) and optionally repairs what it finds.
+
+* :func:`snapshot_archive` / :func:`restore_archive` — barman-style
+  full-instance backup: metadata plus durable-tier contents in one
+  deterministic tar archive, verified on restore against the manifest's
+  state digest.
+
+* :func:`simulate_crash` / :func:`reopen_instance` — what the
+  crash-point sweep (``repro.bench.crashsweep``) uses to kill a process
+  mid-operation and boot a successor over the surviving state.
+
+Recovery rolls *forward*, never back: an intent that reached the journal
+is completed on reopen, one that did not leaves no trace.  So every
+crash lands the instance in exactly a primitive-operation boundary state
+— never in between.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import tarfile
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import NoSuchObjectError, TieraError
+from repro.core.objects import ObjectMeta, content_checksum
+from repro.core.responses import Conditional, Copy, Store, StoreOnce
+from repro.obs.audit import AuditRecord
+from repro.simcloud.errors import SimCloudError
+from repro.simcloud.resources import RequestContext
+
+#: Reserved key prefix for journal records inside the metadata store.
+#: Object keys are UTF-8 strings, so a leading NUL byte can never
+#: collide; ``_load_metadata`` skips everything under it.
+JOURNAL_PREFIX = b"\x00tj\x00"
+
+#: Snapshot archive format version (bump on incompatible layout change).
+SNAPSHOT_FORMAT = 1
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    return base64.b64decode(text.encode("ascii"))
+
+
+class IntentJournal:
+    """Write-ahead intent records keyed ``<prefix><seq>`` in a KVStore.
+
+    A record is begun before the operation's first side effect and
+    deleted (committed) after its last; whatever is still present when
+    an instance reopens is exactly the set of operations in flight at
+    the crash.  Record payloads are ``sort_keys`` JSON so journal bytes
+    are deterministic for identical histories.
+    """
+
+    def __init__(self, store):
+        self.store = store
+        self._pending: Dict[int, Dict[str, object]] = {}
+        self._next_seq = 0
+        for seq, record in self._scan():
+            self._pending[seq] = record
+            self._next_seq = max(self._next_seq, seq + 1)
+
+    def _scan(self) -> Iterator[Tuple[int, Dict[str, object]]]:
+        for key in sorted(self.store.keys()):
+            if not key.startswith(JOURNAL_PREFIX):
+                continue
+            blob = self.store.get(key)
+            if blob is None:
+                continue
+            try:
+                seq = int(key[len(JOURNAL_PREFIX):].decode("ascii"))
+                record = json.loads(blob.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue  # unreadable record: treat as never begun
+            yield seq, record
+
+    def _key(self, seq: int) -> bytes:
+        return JOURNAL_PREFIX + b"%012d" % seq
+
+    def begin(self, record: Dict[str, object]) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        blob = json.dumps(record, sort_keys=True).encode("utf-8")
+        self.store.put(self._key(seq), blob)
+        self._pending[seq] = record
+        return seq
+
+    def commit(self, seq: int) -> None:
+        if self._pending.pop(seq, None) is not None:
+            self.store.delete(self._key(seq))
+
+    #: Rolling an intent back and committing it are the same journal
+    #: operation; the distinction (was the redo plan applied?) lives in
+    #: the caller.
+    abort = commit
+
+    def pending(self) -> List[Tuple[int, Dict[str, object]]]:
+        """In-flight records, oldest first."""
+        return sorted(self._pending.items())
+
+    def clear(self) -> None:
+        for seq in list(self._pending):
+            self.commit(seq)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class DurabilityLayer:
+    """Journaling, recovery, and checkpointing for one instance.
+
+    Enabled via :meth:`TieraInstance.enable_durability`; ``None`` (the
+    default) keeps the data path byte-for-byte as before.
+    """
+
+    def __init__(self, instance, journal_store=None):
+        self.instance = instance
+        self.store = (
+            journal_store if journal_store is not None
+            else instance.metadata_store
+        )
+        self._owns_store = self.store is not instance.metadata_store
+        self.journal = IntentJournal(self.store)
+        #: set while :meth:`recover` replays; suppresses re-journaling.
+        self.recovering = False
+        self.last_recovery: Optional[Dict[str, object]] = None
+        metrics = instance.obs.metrics
+        self._records = metrics.counter(
+            "tiera_journal_records_total", "Intent-journal records begun."
+        )
+        self._replays = metrics.counter(
+            "tiera_journal_replayed_total",
+            "Journal records rolled forward during recovery.",
+        )
+
+    # -- journaling hooks (called by the instance's primitives) ----------
+
+    def _begin(self, record: Dict[str, object]) -> int:
+        self._records.inc(op=str(record.get("op", "?")))
+        return self.journal.begin(record)
+
+    def _post_doc(self, meta: ObjectMeta) -> Dict[str, object]:
+        return json.loads(meta.to_json().decode("utf-8"))
+
+    def journal_write(self, key: str, tier_name: str, data: bytes):
+        if self.recovering:
+            return None
+        meta = self.instance._meta.get(key)
+        if meta is None:
+            return None  # no metadata yet: nothing to make consistent
+        post = self._post_doc(meta)
+        post["locations"] = sorted(set(post["locations"]) | {tier_name})
+        post["size"] = len(data)
+        return self._begin({
+            "op": "write",
+            "key": key,
+            "tier": tier_name,
+            "data_b64": _b64(data),
+            "post_meta": post,
+        })
+
+    def journal_remove(self, key: str, tier_name: str):
+        if self.recovering:
+            return None
+        meta = self.instance._meta.get(key)
+        if meta is None:
+            return None
+        post = self._post_doc(meta)
+        post["locations"] = sorted(set(post["locations"]) - {tier_name})
+        return self._begin({
+            "op": "remove",
+            "key": key,
+            "tier": tier_name,
+            "post_meta": post,
+        })
+
+    def journal_rewrite(
+        self, key: str, data: bytes, updates: Optional[Dict[str, object]]
+    ):
+        if self.recovering:
+            return None
+        meta = self.instance._meta.get(key)
+        if meta is None:
+            return None
+        post = self._post_doc(meta)
+        post["size"] = len(data)
+        for attr, value in (updates or {}).items():
+            post[attr] = value
+        return self._begin({
+            "op": "rewrite",
+            "key": key,
+            "locations": sorted(meta.locations),
+            "data_b64": _b64(data),
+            "post_meta": post,
+        })
+
+    def journal_delete(self, key: str, locations: List[str]):
+        if self.recovering:
+            return None
+        return self._begin({
+            "op": "delete",
+            "key": key,
+            "locations": list(locations),
+        })
+
+    def begin_scope(self, rule_name: str, origin: str):
+        """Mark a multi-step policy response as in flight.
+
+        Scope records carry no redo plan — the primitives inside them
+        journal their own — but an open scope at recovery names the
+        rule whose compound effect was cut short."""
+        if self.recovering:
+            return None
+        return self._begin({"op": "scope", "rule": rule_name, "origin": origin})
+
+    def commit(self, seq: int) -> None:
+        self.journal.commit(seq)
+
+    def abort(self, seq: int) -> None:
+        self.journal.abort(seq)
+
+    commit_scope = commit
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self) -> Dict[str, object]:
+        """Roll forward every pending intent, then scrub.
+
+        Returns a deterministic report: which records were replayed,
+        which policy responses were caught mid-flight, and the fsck
+        findings (repaired in place)."""
+        instance = self.instance
+        ctx = RequestContext(instance.clock)
+        replayed: List[Dict[str, object]] = []
+        incomplete: List[Dict[str, object]] = []
+        errors: List[Dict[str, object]] = []
+        self.recovering = True
+        try:
+            for seq, record in self.journal.pending():
+                op = str(record.get("op", "?"))
+                try:
+                    if op == "scope":
+                        incomplete.append({
+                            "rule": record.get("rule", ""),
+                            "origin": record.get("origin", ""),
+                        })
+                    elif op == "write":
+                        self._redo_write(record, ctx)
+                    elif op == "remove":
+                        self._redo_remove(record, ctx)
+                    elif op == "rewrite":
+                        self._redo_rewrite(record, ctx)
+                    elif op == "delete":
+                        self._redo_delete(record, ctx)
+                    if op != "scope":
+                        replayed.append({
+                            "seq": seq, "op": op,
+                            "key": str(record.get("key", "")),
+                        })
+                        self._replays.inc(op=op)
+                except (TieraError, SimCloudError) as exc:
+                    errors.append({
+                        "seq": seq, "op": op,
+                        "key": str(record.get("key", "")),
+                        "error": f"{type(exc).__name__}: {exc}",
+                    })
+                self.journal.commit(seq)
+        finally:
+            self.recovering = False
+        scrub = fsck(instance, repair=True, ctx=ctx)
+        report = {
+            "replayed": replayed,
+            "incomplete_responses": incomplete,
+            "errors": errors,
+            "fsck": scrub,
+        }
+        instance.obs.audit.append(AuditRecord(
+            time=instance.clock.now(),
+            category="recovery",
+            name="journal-replay",
+            origin="reopen",
+            foreground=False,
+            responses=len(replayed),
+            objects_moved=len(replayed),
+            error=errors[0]["error"] if errors else None,
+            detail={
+                "replayed": len(replayed),
+                "incomplete_responses": len(incomplete),
+                "fsck_findings": scrub["counts"]["findings"],
+            },
+        ))
+        self.last_recovery = report
+        return report
+
+    def _install_meta(self, doc) -> Optional[ObjectMeta]:
+        """Install a journaled post-operation metadata image."""
+        if not doc:
+            return None
+        blob = json.dumps(doc, sort_keys=True).encode("utf-8")
+        meta = ObjectMeta.from_json(blob)
+        self.instance._meta[meta.key] = meta
+        self.instance.persist_meta(meta)
+        if meta.checksum and meta.alias_of is None:
+            self.instance._dedup.setdefault(meta.checksum, meta.key)
+        return meta
+
+    def _redo_write(self, record, ctx: RequestContext) -> None:
+        instance = self.instance
+        key = str(record["key"])
+        tier_name = str(record["tier"])
+        self._install_meta(record.get("post_meta"))
+        if instance.tiers.has(tier_name):
+            data = _unb64(record["data_b64"])
+            instance.write_to_tier(key, data, tier_name, ctx)
+
+    def _redo_remove(self, record, ctx: RequestContext) -> None:
+        instance = self.instance
+        key = str(record["key"])
+        tier_name = str(record["tier"])
+        self._install_meta(record.get("post_meta"))
+        if instance.tiers.has(tier_name) and instance.has_object(key):
+            instance.remove_from_tier(key, tier_name, ctx)
+
+    def _redo_rewrite(self, record, ctx: RequestContext) -> None:
+        instance = self.instance
+        key = str(record["key"])
+        self._install_meta(record.get("post_meta"))
+        data = _unb64(record["data_b64"])
+        for tier_name in record.get("locations", []):
+            if instance.tiers.has(str(tier_name)):
+                instance.tiers.get(str(tier_name)).put(key, data, ctx)
+
+    def _redo_delete(self, record, ctx: RequestContext) -> None:
+        instance = self.instance
+        key = str(record["key"])
+        if instance.has_object(key):
+            instance.delete_object(key, ctx)
+            return
+        # Metadata already gone: finish clearing any surviving replicas.
+        for tier_name in record.get("locations", []):
+            if not instance.tiers.has(str(tier_name)):
+                continue
+            tier = instance.tiers.get(str(tier_name))
+            if tier.contains(key) and tier.available:
+                tier.delete(key, ctx)
+
+    # -- maintenance ------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Compact the journal/metadata log (a named crash boundary)."""
+        instance = self.instance
+        instance._crash_point("checkpoint.begin")
+        compacted = []
+        stores = [instance.metadata_store]
+        if self._owns_store:
+            stores.append(self.store)
+        for store in stores:
+            compact = getattr(store, "compact", None)
+            if compact is not None:
+                compact()
+                compacted.append(type(store).__name__)
+        instance._crash_point("checkpoint.done")
+        return {"compacted": compacted, "pending": len(self.journal)}
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "enabled": True,
+            "pending_journal": len(self.journal),
+            "recovered": self.last_recovery is not None,
+        }
+
+    def close(self) -> None:
+        if self._owns_store:
+            self.store.close()
+
+
+# -- fsck: the metadata/tier cross-check scrub ---------------------------
+
+
+def _verifiable(meta: ObjectMeta) -> bool:
+    """Bytes at rest should hash to ``meta.checksum``: plain objects
+    only (compress/encrypt responses transform the stored bytes)."""
+    return bool(
+        meta.checksum
+        and not meta.compressed
+        and not meta.encrypted
+        and meta.alias_of is None
+    )
+
+
+def _erase(tier, key: str) -> None:
+    """Delete bytes directly at the service, off the virtual timeline
+    (fsck is an offline scrub; it charges no request latency)."""
+    service = tier.service
+    if key in service._data:
+        service._used -= len(service._data.pop(key))
+    tier._order.pop(key, None)
+
+
+def insert_targets(instance) -> List[str]:
+    """Durable tiers the policy writes every new object to.
+
+    Walks the policy's ``insert`` action rules collecting
+    Store/StoreOnce/Copy destinations (through Conditional branches).
+    Only durable targets count: volatile ones (memcached) may legally
+    lose or evict their copy, so their absence is not a finding.
+    """
+    names: List[str] = []
+
+    def walk(responses) -> None:
+        for response in responses:
+            if isinstance(response, (Store, StoreOnce, Copy)):
+                names.extend(response.to)
+            elif isinstance(response, Conditional):
+                walk(response.then)
+                walk(response.otherwise)
+
+    for rule in instance.policy.action_rules():
+        if rule.event.kind == "insert":
+            walk(rule.responses)
+    out = []
+    for name in names:
+        if (
+            instance.tiers.has(name)
+            and instance.tiers.get(name).durable
+            and name not in out
+        ):
+            out.append(name)
+    return sorted(out)
+
+
+def fsck(
+    instance, repair: bool = False, ctx: Optional[RequestContext] = None
+) -> Dict[str, object]:
+    """Cross-check the metadata table against actual tier contents.
+
+    Invariants checked, in order (each listed with its finding kind):
+
+    1. ``stale-location`` — a location names a tier the instance no
+       longer has.
+    2. ``ghost`` — metadata says a tier holds the object; it does not.
+    3. ``dangling-alias`` — an alias whose canonical metadata is gone.
+    4. ``orphan`` / ``unrecorded`` — a tier holds bytes with no (or no
+       matching) metadata.  Unrecorded copies that verify against the
+       object's checksum are adopted; everything else is deleted.
+    5. ``checksum-mismatch`` — a recorded copy's bytes do not hash to
+       the recorded checksum.  Rewritten from a clean copy when one
+       exists; when *no* copy verifies (the signature of an overwrite
+       whose new bytes died with a volatile tier), the object is rolled
+       back to its surviving content: the first-declared copy is adopted
+       as truth, its checksum re-recorded, and divergent copies
+       realigned — dropping would lose acknowledged data.
+    6. ``lost`` — a non-alias object with zero locations.
+    7. ``under-replicated`` — a durable tier the policy's insert rules
+       target does not hold the object (queued on the resilience
+       layer's repair queue when enabled, else re-copied inline).
+
+    ``repair=False`` only reports.  With ``repair=True`` the findings
+    are fixed in the order listed, so cascades (a dropped ghost location
+    turning an object ``lost``) resolve within one pass and a second
+    fsck comes back clean.
+    """
+    if ctx is None:
+        ctx = RequestContext(instance.clock)
+    findings: List[Dict[str, object]] = []
+
+    def note(kind: str, key: str, tier: str = "", detail: str = "",
+             action: str = "") -> None:
+        findings.append({
+            "kind": kind, "key": key, "tier": tier, "detail": detail,
+            "repair": action if repair else "",
+        })
+
+    metas = instance._meta
+    tier_names = set(instance.tiers.names())
+
+    # 1+2: stale locations and ghosts.
+    for key in sorted(metas):
+        meta = metas[key]
+        for tier_name in sorted(meta.locations):
+            if tier_name not in tier_names:
+                note("stale-location", key, tier_name,
+                     "location names an unconfigured tier", "drop-location")
+                if repair:
+                    meta.locations.discard(tier_name)
+                    instance.persist_meta(meta)
+            elif not instance.tiers.get(tier_name).contains(key):
+                note("ghost", key, tier_name,
+                     "metadata lists a copy the tier does not hold",
+                     "drop-location")
+                if repair:
+                    meta.locations.discard(tier_name)
+                    instance.persist_meta(meta)
+
+    # 3: dangling aliases.
+    for key in sorted(list(metas)):
+        meta = metas.get(key)
+        if meta is None or meta.alias_of is None:
+            continue
+        if meta.alias_of not in metas:
+            note("dangling-alias", key, "",
+                 f"alias of missing object {meta.alias_of!r}", "drop-object")
+            if repair:
+                instance._drop_meta(key)
+
+    # 4: orphaned / unrecorded tier contents.
+    for tier in instance.tiers.ordered():
+        for stored in sorted(tier.keys()):
+            meta = metas.get(stored)
+            if meta is None:
+                note("orphan", stored, tier.name,
+                     "tier holds bytes with no metadata", "delete-bytes")
+                if repair:
+                    _erase(tier, stored)
+            elif tier.name not in meta.locations:
+                blob = tier.service._data[stored]
+                if _verifiable(meta) and content_checksum(blob) == meta.checksum:
+                    note("unrecorded", stored, tier.name,
+                         "verified copy missing from metadata", "adopt")
+                    if repair:
+                        meta.locations.add(tier.name)
+                        instance.persist_meta(meta)
+                else:
+                    note("unrecorded", stored, tier.name,
+                         "unverifiable copy missing from metadata",
+                         "delete-bytes")
+                    if repair:
+                        _erase(tier, stored)
+
+    # 5: checksum mismatches among recorded copies.
+    for key in sorted(metas):
+        meta = metas[key]
+        if not _verifiable(meta):
+            continue
+        good: Optional[bytes] = None
+        bad: List[str] = []
+        for tier_name in sorted(meta.locations & tier_names):
+            tier = instance.tiers.get(tier_name)
+            if not tier.contains(key):
+                continue  # ghost, handled above
+            blob = tier.service._data[key]
+            if content_checksum(blob) == meta.checksum:
+                if good is None:
+                    good = blob
+            else:
+                bad.append(tier_name)
+        if good is not None:
+            for tier_name in bad:
+                note("checksum-mismatch", key, tier_name,
+                     "copy differs from recorded checksum",
+                     "rewrite-from-clean-copy")
+                if repair:
+                    tier = instance.tiers.get(tier_name)
+                    service = tier.service
+                    old = service._data.get(key)
+                    if old is not None:
+                        service._used -= len(old)
+                    service._data[key] = good
+                    service._used += len(good)
+        elif bad:
+            # Every surviving copy mismatches the recorded checksum: an
+            # overwrite recorded its new checksum but the new bytes died
+            # with a volatile tier.  Roll the object back to surviving
+            # content instead of dropping acknowledged data: adopt the
+            # first-declared copy as truth, re-record its checksum, and
+            # realign any copies that diverge from it.
+            truth: Optional[bytes] = None
+            for tier in instance.tiers.ordered():
+                if tier.name in bad:
+                    truth = tier.service._data[key]
+                    break
+            for tier_name in bad:
+                blob = instance.tiers.get(tier_name).service._data[key]
+                note("checksum-mismatch", key, tier_name,
+                     "no clean copy; rolling back to surviving content",
+                     "adopt-content" if blob == truth
+                     else "rewrite-from-adopted-copy")
+            if repair and truth is not None:
+                instance._drop_dedup_entry(meta)
+                meta.checksum = content_checksum(truth)
+                meta.size = len(truth)
+                instance._dedup.setdefault(meta.checksum, meta.key)
+                instance.persist_meta(meta)
+                for tier_name in bad:
+                    service = instance.tiers.get(tier_name).service
+                    old = service._data.get(key)
+                    if old is not None and old != truth:
+                        service._used -= len(old)
+                        service._data[key] = truth
+                        service._used += len(truth)
+
+    # 6: lost objects (and aliases orphaned by dropping them).
+    for key in sorted(list(metas)):
+        meta = metas.get(key)
+        if meta is None or meta.alias_of is not None or meta.locations:
+            continue
+        note("lost", key, "", "no tier holds this object", "drop-object")
+        if repair:
+            instance._drop_dedup_entry(meta)
+            instance._drop_meta(key)
+    if repair:
+        for key in sorted(list(metas)):
+            meta = metas.get(key)
+            if (
+                meta is not None
+                and meta.alias_of is not None
+                and meta.alias_of not in metas
+            ):
+                note("dangling-alias", key, "",
+                     f"alias of missing object {meta.alias_of!r}",
+                     "drop-object")
+                instance._drop_meta(key)
+
+    # 7: under-replication vs. the policy's durable insert targets.
+    targets = insert_targets(instance)
+    if targets:
+        for key in sorted(metas):
+            meta = metas[key]
+            if meta.alias_of is not None or not meta.locations:
+                continue
+            if meta.tags & {"version", "snapshot"}:
+                continue  # side copies follow their own placement
+            for tier_name in targets:
+                if tier_name in meta.locations:
+                    continue
+                note("under-replicated", key, tier_name,
+                     "durable policy target holds no copy", "recopy")
+                if repair:
+                    blob = _first_copy(instance, meta)
+                    if blob is None:
+                        continue
+                    res = instance.resilience
+                    if res is not None:
+                        res.repair_queue.add(key, tier_name,
+                                             instance.clock.now())
+                        res.schedule_replay(tier_name)
+                    else:
+                        try:
+                            instance.write_to_tier(key, blob, tier_name, ctx)
+                        except (TieraError, SimCloudError):
+                            pass  # the finding stands; next scrub retries
+
+    by_kind: Dict[str, int] = {}
+    for finding in findings:
+        kind = str(finding["kind"])
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    metrics = instance.obs.metrics
+    metrics.counter(
+        "tiera_fsck_runs_total", "fsck scrub passes executed."
+    ).inc(repair=str(bool(repair)).lower())
+    counter = metrics.counter(
+        "tiera_fsck_findings_total", "fsck findings, by kind."
+    )
+    for kind in sorted(by_kind):
+        counter.inc(by_kind[kind], kind=kind)
+    report = {
+        "clean": not findings,
+        "repair": bool(repair),
+        "findings": findings,
+        "counts": {"findings": len(findings), "by_kind": by_kind},
+    }
+    instance.obs.audit.append(AuditRecord(
+        time=instance.clock.now(),
+        category="fsck",
+        name="scrub",
+        origin="repair" if repair else "check",
+        foreground=False,
+        detail={"findings": len(findings), "by_kind": dict(by_kind)},
+    ))
+    return report
+
+
+def _first_copy(instance, meta: ObjectMeta) -> Optional[bytes]:
+    """The object's bytes from its first-declared recorded tier, read
+    at the service (no virtual time, no LRU side effects)."""
+    for tier in instance.tiers.ordered():
+        if tier.name in meta.locations and tier.contains(meta.key):
+            return tier.service._data[meta.key]
+    return None
+
+
+# -- snapshot / restore (barman-style full-instance backup) ---------------
+
+
+def snapshot_archive(
+    instance, include_volatile: bool = False
+) -> Tuple[bytes, Dict[str, object]]:
+    """Serialize metadata + durable-tier contents to a tar archive.
+
+    Returns ``(archive_bytes, manifest)``.  The archive is deterministic
+    (fixed member order, zeroed tar timestamps) so same-state snapshots
+    are byte-identical.  Volatile tiers (memcached) are excluded unless
+    ``include_volatile`` — their loss is the crash model, so a backup
+    that promised to restore them would lie.
+    """
+    archived = [
+        t for t in instance.tiers.ordered() if t.durable or include_volatile
+    ]
+    archived_names = {t.name for t in archived}
+
+    kept: List[ObjectMeta] = []
+    kept_keys = set()
+    for key in sorted(instance._meta):
+        meta = instance._meta[key]
+        if meta.alias_of is not None:
+            continue  # second pass below, once canonicals are decided
+        held = meta.locations & archived_names
+        if not held:
+            continue
+        doc = json.loads(meta.to_json().decode("utf-8"))
+        doc["locations"] = sorted(held)
+        kept.append(ObjectMeta.from_json(
+            json.dumps(doc, sort_keys=True).encode("utf-8")
+        ))
+        kept_keys.add(key)
+    for key in sorted(instance._meta):
+        meta = instance._meta[key]
+        if meta.alias_of is None:
+            continue
+        try:
+            physical = instance.resolve_alias(key)
+        except NoSuchObjectError:
+            continue
+        if physical in kept_keys:
+            kept.append(ObjectMeta.from_json(meta.to_json()))
+    kept.sort(key=lambda m: m.key)
+
+    tier_rows: List[Tuple[str, Dict[str, bytes]]] = []
+    for tier in instance.tiers.ordered():
+        if tier.name in archived_names:
+            contents = {k: tier.service._data[k] for k in tier.keys()}
+        else:
+            contents = {}
+        tier_rows.append((tier.name, contents))
+    meta_rows = [
+        (m.key, m.size, tuple(sorted(m.locations)), m.version, m.checksum)
+        for m in kept
+    ]
+    from repro.core.instance import state_fingerprint
+
+    digest = state_fingerprint(meta_rows, tier_rows)
+
+    manifest: Dict[str, object] = {
+        "format": SNAPSHOT_FORMAT,
+        "instance": instance.name,
+        "created_at": instance.clock.now(),
+        "include_volatile": include_volatile,
+        "tier_order": instance.tiers.names(),
+        "tiers": [
+            {
+                "name": t.name,
+                "kind": t.kind,
+                "durable": t.durable,
+                "capacity": t.capacity,
+                "objects": len(t.keys()),
+                "bytes": t.used,
+            }
+            for t in archived
+        ],
+        "objects": len(kept),
+        "state_digest": digest,
+    }
+
+    members: List[Tuple[str, bytes]] = [(
+        "manifest.json",
+        json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+    )]
+    meta_lines = b"".join(m.to_json() + b"\n" for m in kept)
+    members.append(("metadata.jsonl", meta_lines))
+    for tier in archived:
+        lines = b"".join(
+            json.dumps(
+                {"key": k, "data_b64": _b64(tier.service._data[k])},
+                sort_keys=True,
+            ).encode("utf-8") + b"\n"
+            for k in sorted(tier.keys())
+        )
+        members.append((f"data/{tier.name}.jsonl", lines))
+
+    buf = io.BytesIO()
+    with tarfile.open(fileobj=buf, mode="w") as tar:
+        for name, blob in members:
+            info = tarfile.TarInfo(name)
+            info.size = len(blob)
+            info.mtime = 0
+            info.uid = info.gid = 0
+            info.uname = info.gname = ""
+            tar.addfile(info, io.BytesIO(blob))
+    instance.obs.metrics.counter(
+        "tiera_snapshots_total", "Snapshot archives produced."
+    ).inc()
+    instance.obs.audit.append(AuditRecord(
+        time=instance.clock.now(),
+        category="snapshot",
+        name="snapshot",
+        origin="snapshot",
+        foreground=False,
+        detail={"objects": len(kept), "tiers": sorted(archived_names)},
+    ))
+    return buf.getvalue(), manifest
+
+
+def write_snapshot(
+    instance, path: str, include_volatile: bool = False
+) -> Dict[str, object]:
+    """Snapshot to a file; returns the manifest."""
+    blob, manifest = snapshot_archive(instance, include_volatile)
+    with open(path, "wb") as out:
+        out.write(blob)
+    return manifest
+
+
+def _read_member(tar: tarfile.TarFile, name: str) -> bytes:
+    member = tar.extractfile(name)
+    if member is None:
+        raise ValueError(f"snapshot archive is missing {name!r}")
+    return member.read()
+
+
+def restore_archive(instance, blob: bytes) -> Dict[str, object]:
+    """Rebuild an instance's state from a snapshot archive.
+
+    The target instance must have every tier the archive holds data
+    for, with enough capacity.  All current state — tier contents,
+    metadata, pending journal records — is replaced wholesale; the
+    result is verified against the manifest's state digest.
+    """
+    try:
+        tar = tarfile.open(fileobj=io.BytesIO(blob))
+    except tarfile.TarError as exc:
+        raise ValueError(f"not a snapshot archive: {exc}") from exc
+    with tar:
+        manifest = json.loads(_read_member(tar, "manifest.json"))
+        if int(manifest.get("format", 0)) > SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"snapshot format {manifest.get('format')} is newer than "
+                f"this build supports ({SNAPSHOT_FORMAT})"
+            )
+        metas = [
+            ObjectMeta.from_json(line)
+            for line in _read_member(tar, "metadata.jsonl").splitlines()
+            if line
+        ]
+        tier_data: Dict[str, List[Tuple[str, bytes]]] = {}
+        for entry in manifest["tiers"]:
+            name = entry["name"]
+            rows = []
+            for line in _read_member(tar, f"data/{name}.jsonl").splitlines():
+                if line:
+                    doc = json.loads(line)
+                    rows.append((doc["key"], _unb64(doc["data_b64"])))
+            tier_data[name] = rows
+
+    # Validate shape before mutating anything.
+    for name, rows in sorted(tier_data.items()):
+        if not instance.tiers.has(name):
+            raise ValueError(f"restore target has no tier {name!r}")
+        tier = instance.tiers.get(name)
+        total = sum(len(data) for _, data in rows)
+        if tier.capacity is not None and total > tier.capacity:
+            raise ValueError(
+                f"tier {name!r} capacity {tier.capacity} cannot hold "
+                f"{total} snapshot bytes"
+            )
+
+    for tier in instance.tiers.ordered():
+        tier.service._drop_all()
+        tier._order.clear()
+    instance._meta.clear()
+    instance._dedup.clear()
+    for key in list(instance.metadata_store.keys()):
+        instance.metadata_store.delete(key)
+    if instance.durability is not None:
+        instance.durability.journal.clear()
+
+    for meta in metas:
+        instance._meta[meta.key] = meta
+        instance.persist_meta(meta)
+        if meta.checksum and meta.alias_of is None:
+            instance._dedup.setdefault(meta.checksum, meta.key)
+    for name in sorted(tier_data):
+        tier = instance.tiers.get(name)
+        service = tier.service
+        for key, data in sorted(tier_data[name]):
+            service._data[key] = data
+            service._used += len(data)
+            tier._order[key] = None
+
+    digest = instance.state_digest()
+    result = {
+        "instance": instance.name,
+        "snapshot_of": manifest.get("instance", ""),
+        "objects": len(metas),
+        "tiers": {name: len(rows) for name, rows in sorted(tier_data.items())},
+        "state_digest": digest,
+        "manifest_digest": manifest.get("state_digest", ""),
+        "verified": digest == manifest.get("state_digest"),
+    }
+    instance.obs.metrics.counter(
+        "tiera_restores_total", "Snapshot restores applied."
+    ).inc(verified=str(bool(result["verified"])).lower())
+    instance.obs.audit.append(AuditRecord(
+        time=instance.clock.now(),
+        category="snapshot",
+        name="restore",
+        origin="restore",
+        foreground=False,
+        error=None if result["verified"] else "state digest mismatch",
+        detail={"objects": len(metas), "verified": result["verified"]},
+    ))
+    return result
+
+
+def restore_snapshot(instance, path: str) -> Dict[str, object]:
+    with open(path, "rb") as handle:
+        return restore_archive(instance, handle.read())
+
+
+# -- crash simulation (used by the sweep harness and tests) ---------------
+
+
+def simulate_crash(instance) -> None:
+    """Kill the instance the way SIGKILL + node reboot would.
+
+    Volatile tiers (``service.persistent == False``: memcached) lose
+    their contents; durable services and the metadata store survive
+    untouched — including any in-flight journal records, which is the
+    whole point.  Scheduled background work dies with the process.
+    """
+    instance.control.shutdown()
+    if instance.resilience is not None:
+        instance.resilience.detach()
+    instance.obs.metrics.remove_collector(instance._collect_gauges)
+    cancel_all = getattr(instance.clock, "cancel_all", None)
+    if cancel_all is not None:
+        cancel_all()
+    for tier in instance.tiers.ordered():
+        if not tier.service.persistent:
+            tier.service._drop_all()
+            tier._order.clear()
+
+
+def reopen_instance(
+    name,
+    tiers,
+    policy,
+    clock,
+    metadata_store,
+    eviction_chain: Optional[Dict[str, str]] = None,
+    **kwargs,
+):
+    """Boot a successor instance over crash-surviving state.
+
+    Rebuilds each tier's LRU book-keeping from the surviving contents
+    (sorted: access order died with the process), constructs the
+    instance, and runs durability recovery.  Returns ``(instance,
+    recovery_report)``.
+    """
+    from repro.core.instance import TieraInstance
+
+    for tier in tiers:
+        tier._order.clear()
+        for key in sorted(tier.service.keys()):
+            tier._order[key] = None
+    instance = TieraInstance(
+        name=name,
+        tiers=tiers,
+        policy=policy,
+        clock=clock,
+        metadata_store=metadata_store,
+        **kwargs,
+    )
+    if eviction_chain:
+        instance.eviction_chain.update(eviction_chain)
+    layer = instance.enable_durability()
+    return instance, layer.last_recovery

@@ -10,7 +10,8 @@ reconfiguration entry point the Figure 17 experiment drives.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+import hashlib
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.control import ControlLayer
 from repro.core.errors import (
@@ -34,6 +35,30 @@ from repro.tiers.base import Tier
 #: Eviction-chain sentinel: discard victims instead of relocating them.
 #: Only victims that also live in another tier may be dropped.
 DROP = "<drop>"
+
+
+def state_fingerprint(meta_rows, tier_rows) -> str:
+    """The digest recipe behind :meth:`TieraInstance.state_digest`.
+
+    ``meta_rows`` is an iterable of ``(key, size, sorted-locations,
+    version, checksum)`` tuples in key order; ``tier_rows`` of
+    ``(tier_name, {key: bytes})`` in tier declaration order.  Snapshots
+    hash their archived subset through the same recipe so a restore can
+    be verified against the manifest.
+    """
+    h = hashlib.sha256()
+    for key, size, locations, version, checksum in meta_rows:
+        h.update(key.encode("utf-8"))
+        h.update(str(size).encode())
+        h.update(",".join(locations).encode())
+        h.update(str(version).encode())
+        h.update(checksum.encode())
+    for name, contents in tier_rows:
+        h.update(name.encode("utf-8"))
+        for stored in sorted(contents):
+            h.update(stored.encode("utf-8"))
+            h.update(hashlib.sha256(contents[stored]).digest())
+    return h.hexdigest()
 
 
 class TieraInstance:
@@ -101,6 +126,12 @@ class TieraInstance:
         #: opt-in via :meth:`enable_resilience`; ``None`` keeps the data
         #: path exactly as before (no extra checks, no RNG).
         self.resilience = None
+        #: durability layer (intent journal / recovery / fsck) — opt-in
+        #: via :meth:`enable_durability`; ``None`` journals nothing.
+        self.durability = None
+        #: crash-point injector (repro.simcloud.faults.CrashPointInjector)
+        #: — set by the crash sweep; ``None`` makes boundaries free.
+        self.crash_points = None
         self._load_metadata()
         self.control.start()
 
@@ -109,6 +140,8 @@ class TieraInstance:
     def _load_metadata(self) -> None:
         """Rebuild the in-memory table from the persistent store."""
         for key, blob in self.metadata_store.items():
+            if key.startswith(b"\x00"):
+                continue  # reserved (journal records ride on this store)
             meta = ObjectMeta.from_json(blob)
             self._meta[meta.key] = meta
             if meta.checksum and meta.alias_of is None:
@@ -204,6 +237,12 @@ class TieraInstance:
 
     # -- data path primitives (used by responses and the server) -----------
 
+    def _crash_point(self, point: str) -> None:
+        """A named operation boundary the crash sweep can kill us at."""
+        injector = self.crash_points
+        if injector is not None:
+            injector.reach(point)
+
     def write_to_tier(
         self,
         key: str,
@@ -247,20 +286,37 @@ class TieraInstance:
             self._make_room(tier, incoming, evict_to, ctx, protect=key)
         if not tier.can_fit(incoming):
             raise NoCapacityError(tier_name, key)
+        # Journal the write intent (bytes + post-state metadata) before
+        # the tier mutates: a crash anywhere past this line rolls the
+        # whole write forward on reopen; before it, no trace remains.
+        self._crash_point("write.begin")
+        dur = self.durability
+        seq = dur.journal_write(key, tier_name, data) if dur is not None else None
+        if seq is not None:
+            self._crash_point("write.journaled")
         if res is None:
             tier.put(key, data, ctx)
         else:
             try:
                 res.guarded_put(tier, key, data, ctx)
             except (ServiceUnavailableError, BreakerOpenError) as exc:
+                if seq is not None:
+                    # The degraded write goes elsewhere (journaled by its
+                    # own write_to_tier call): this intent never happened.
+                    dur.abort(seq)
                 if not redirect:
                     raise
                 res.redirect_write(key, data, tier_name, ctx, exc)
                 return
+        self._crash_point("write.data")
         meta = self.meta(key)
         meta.locations.add(tier_name)
         meta.size = len(data)
         self.persist_meta(meta)
+        self._crash_point("write.meta")
+        if seq is not None:
+            dur.commit(seq)
+            self._crash_point("write.commit")
 
     def _make_room(
         self,
@@ -375,21 +431,53 @@ class TieraInstance:
             ctx.trace.attrs["served_by"] = served.name
         return data
 
-    def rewrite_everywhere(self, key: str, data: bytes, ctx: RequestContext) -> None:
-        """Replace an object's bytes in every tier currently holding it."""
+    def rewrite_everywhere(
+        self,
+        key: str,
+        data: bytes,
+        ctx: RequestContext,
+        updates: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Replace an object's bytes in every tier currently holding it.
+
+        ``updates`` are metadata attribute changes that must land
+        atomically with the new bytes (the encrypt/compress responses'
+        flag flips): they ride in the same journal intent, so a crash
+        can never leave transformed bytes with an untransformed flag.
+        """
         meta = self.meta(key)
+        self._crash_point("rewrite.begin")
+        dur = self.durability
+        seq = dur.journal_rewrite(key, data, updates) if dur is not None else None
+        if seq is not None:
+            self._crash_point("rewrite.journaled")
         for tier_name in sorted(meta.locations):
             self.tiers.get(tier_name).put(key, data, ctx)
+        self._crash_point("rewrite.data")
         meta.size = len(data)
+        for attr, value in (updates or {}).items():
+            setattr(meta, attr, value)
         self.persist_meta(meta)
+        if seq is not None:
+            dur.commit(seq)
+            self._crash_point("rewrite.commit")
 
     def remove_from_tier(self, key: str, tier_name: str, ctx: RequestContext) -> None:
         tier = self.tiers.get(tier_name)
+        self._crash_point("remove.begin")
+        dur = self.durability
+        seq = dur.journal_remove(key, tier_name) if dur is not None else None
+        if seq is not None:
+            self._crash_point("remove.journaled")
         if tier.contains(key):
             tier.delete(key, ctx)
+        self._crash_point("remove.data")
         meta = self.meta(key)
         meta.locations.discard(tier_name)
         self.persist_meta(meta)
+        if seq is not None:
+            dur.commit(seq)
+            self._crash_point("remove.commit")
 
     def _detach_alias(self, meta: ObjectMeta) -> None:
         """Break an alias link (its canonical loses one reference)."""
@@ -462,19 +550,33 @@ class TieraInstance:
         still has aliases hands the physical bytes over to one of them.
         """
         meta = self.meta(key)
+        self._crash_point("delete.begin")
+        # Tombstone-first: the journaled delete intent names every tier
+        # that may still hold bytes, so a crash mid-delete finishes the
+        # removal on reopen instead of leaving orphan replicas.
+        dur = self.durability
+        seq = (
+            dur.journal_delete(key, sorted(meta.locations))
+            if dur is not None else None
+        )
+        if seq is not None:
+            self._crash_point("delete.journaled")
         if meta.alias_of is not None:
             self._detach_alias(meta)
             self._drop_meta(key)
-            return
-        if self._handoff_to_heir(meta, ctx):
+        elif self._handoff_to_heir(meta, ctx):
             self._drop_meta(key)
-            return
-        for tier_name in sorted(meta.locations):
-            tier = self.tiers.get(tier_name)
-            if tier.contains(key) and tier.available:
-                tier.delete(key, ctx)
-        self._drop_dedup_entry(meta)
-        self._drop_meta(key)
+        else:
+            for tier_name in sorted(meta.locations):
+                tier = self.tiers.get(tier_name)
+                if tier.contains(key) and tier.available:
+                    tier.delete(key, ctx)
+            self._crash_point("delete.data")
+            self._drop_dedup_entry(meta)
+            self._drop_meta(key)
+        if seq is not None:
+            dur.commit(seq)
+            self._crash_point("delete.commit")
 
     # -- object versioning (extension: paper §2.2 future work) --------------
 
@@ -551,30 +653,91 @@ class TieraInstance:
             self.resilience = ResilienceLayer(self, config)
         return self.resilience
 
-    def state_digest(self) -> str:
-        """Deterministic fingerprint of all stored state.
+    # -- durability (intent journal / recovery / fsck) ----------------------
+
+    def enable_durability(self, journal_store=None, recover: bool = True):
+        """Turn on crash-consistent journaling for this instance.
+
+        Idempotent; returns the :class:`~repro.core.durability.DurabilityLayer`.
+        Journal records live in ``journal_store`` (default: the
+        instance's own metadata store, under a reserved key prefix).
+        ``recover=True`` immediately rolls forward whatever a previous
+        incarnation left in flight and scrubs the result (fsck with
+        repair) — the reopen-after-crash path.
+        """
+        if self.durability is None:
+            from repro.core.durability import DurabilityLayer
+
+            self.durability = DurabilityLayer(self, journal_store)
+            if recover:
+                self.durability.recover()
+        return self.durability
+
+    def state_digest(self, durable_only: bool = False) -> str:
+        """Deterministic fingerprint of stored state.
 
         Hashes the metadata table (keys, sizes, locations, versions,
         checksums) and every tier's physical contents; two runs of the
         same seeded scenario must produce identical digests.  Metadata
         only — computing it charges no virtual time.
-        """
-        import hashlib
 
-        h = hashlib.sha256()
-        for key in sorted(self._meta):
-            meta = self._meta[key]
-            h.update(key.encode("utf-8"))
-            h.update(str(meta.size).encode())
-            h.update(",".join(sorted(meta.locations)).encode())
-            h.update(str(meta.version).encode())
-            h.update(meta.checksum.encode())
-        for tier in self.tiers.ordered():
-            h.update(tier.name.encode("utf-8"))
-            for stored in sorted(tier.keys()):
-                h.update(stored.encode("utf-8"))
-                h.update(hashlib.sha256(tier.service._data[stored]).digest())
-        return h.hexdigest()
+        ``durable_only=True`` restricts the fingerprint to what survives
+        a process crash: durable tiers' contents, and objects holding at
+        least one durable copy (locations filtered to durable tiers;
+        aliases count through their canonical).  Metadata is read from
+        the *persistent* store, not the in-memory table — mid-operation
+        the two can diverge, and only the persisted image survives.  The
+        crash sweep compares this form across a kill/reopen boundary,
+        where volatile-tier state is lost by design.
+        """
+        if not durable_only:
+            meta_rows = [
+                (key, m.size, tuple(sorted(m.locations)), m.version, m.checksum)
+                for key, m in ((k, self._meta[k]) for k in sorted(self._meta))
+            ]
+            tier_rows = [
+                (t.name, {k: t.service._data[k] for k in t.keys()})
+                for t in self.tiers.ordered()
+            ]
+            return state_fingerprint(meta_rows, tier_rows)
+        durable = {t.name for t in self.tiers.ordered() if t.durable}
+        persisted: Dict[str, ObjectMeta] = {}
+        for raw_key, blob in self.metadata_store.items():
+            if raw_key.startswith(b"\x00"):
+                continue  # journal records are not object state
+            meta = ObjectMeta.from_json(blob)
+            persisted[meta.key] = meta
+
+        def canonical_of(meta: ObjectMeta) -> Optional[ObjectMeta]:
+            seen = set()
+            while meta.alias_of is not None:
+                if meta.key in seen:
+                    return None
+                seen.add(meta.key)
+                meta = persisted.get(meta.alias_of)
+                if meta is None:
+                    return None
+            return meta
+
+        meta_rows: List[Tuple[str, int, Tuple[str, ...], int, str]] = []
+        for key in sorted(persisted):
+            meta = persisted[key]
+            if meta.alias_of is not None:
+                canonical = canonical_of(meta)
+                if canonical is None or not (canonical.locations & durable):
+                    continue
+                held: Tuple[str, ...] = ()
+            else:
+                kept = meta.locations & durable
+                if not kept:
+                    continue
+                held = tuple(sorted(kept))
+            meta_rows.append((key, meta.size, held, meta.version, meta.checksum))
+        tier_rows = [
+            (t.name, {k: t.service._data[k] for k in t.keys()})
+            for t in self.tiers.ordered() if t.durable
+        ]
+        return state_fingerprint(meta_rows, tier_rows)
 
     # -- runtime reconfiguration (§4.2.3 / Figure 17) ----------------------
 
@@ -651,6 +814,8 @@ class TieraInstance:
         self.control.shutdown()
         if self.resilience is not None:
             self.resilience.detach()
+        if self.durability is not None:
+            self.durability.close()
         self.obs.metrics.remove_collector(self._collect_gauges)
         self.metadata_store.close()
 

@@ -295,9 +295,11 @@ class Encrypt(Response):
                 continue
             data = instance.read_raw(obj_key, ctx)
             sealed = _xor(data, _keystream(self.key, len(data)))
-            instance.rewrite_everywhere(obj_key, sealed, ctx)
-            meta.encrypted = True
-            instance.persist_meta(meta)
+            # The flag flip rides in the rewrite's journal intent: a
+            # crash can never leave ciphertext marked as plaintext.
+            instance.rewrite_everywhere(
+                obj_key, sealed, ctx, updates={"encrypted": True}
+            )
 
 
 @dataclass
@@ -315,9 +317,9 @@ class Decrypt(Response):
                 continue
             data = instance.read_raw(obj_key, ctx)
             opened = _xor(data, _keystream(self.key, len(data)))
-            instance.rewrite_everywhere(obj_key, opened, ctx)
-            meta.encrypted = False
-            instance.persist_meta(meta)
+            instance.rewrite_everywhere(
+                obj_key, opened, ctx, updates={"encrypted": False}
+            )
 
 
 @dataclass
@@ -335,9 +337,9 @@ class Compress(Response):
                 continue
             data = instance.read_raw(key, ctx)
             packed = zlib.compress(data, self.level)
-            instance.rewrite_everywhere(key, packed, ctx)
-            meta.compressed = True
-            instance.persist_meta(meta)
+            instance.rewrite_everywhere(
+                key, packed, ctx, updates={"compressed": True}
+            )
 
 
 @dataclass
@@ -353,9 +355,10 @@ class Uncompress(Response):
             if not meta.compressed:
                 continue
             data = instance.read_raw(key, ctx)
-            instance.rewrite_everywhere(key, zlib.decompress(data), ctx)
-            meta.compressed = False
-            instance.persist_meta(meta)
+            instance.rewrite_everywhere(
+                key, zlib.decompress(data), ctx,
+                updates={"compressed": False},
+            )
 
 
 @dataclass

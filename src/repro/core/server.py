@@ -250,6 +250,8 @@ class TieraServer:
         }
         if res is not None:
             out["resilience"] = res.summary()
+        if instance.durability is not None:
+            out["durability"] = instance.durability.summary()
         return out
 
     def last_trace(self):

@@ -40,6 +40,9 @@ class KVStore(ABC):
     def close(self) -> None: ...
 
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        # Default: one random get() per key.  Concrete stores override
+        # this with a single-pass scan — ``_load_metadata`` walks every
+        # item on every open, so recovery time rides on it.
         for key in list(self.keys()):
             value = self.get(key)
             if value is not None:
@@ -81,6 +84,10 @@ class MemoryStore(KVStore):
         with self._lock:
             return iter(list(self._data.keys()))
 
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        with self._lock:
+            return iter(list(self._data.items()))
+
     def close(self) -> None:
         pass
 
@@ -100,6 +107,12 @@ class LogStore(KVStore):
         self._dead_bytes = 0
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
+        # A crash between writing the compaction temp file and the
+        # os.replace leaves a stale ``.compact`` beside the log; it was
+        # never the live store, so it is safe (and necessary) to drop.
+        leftover = path + ".compact"
+        if os.path.exists(leftover):
+            os.remove(leftover)
         self._file = open(path, "a+b")
         self._recover()
 
@@ -176,6 +189,22 @@ class LogStore(KVStore):
     def keys(self) -> Iterator[bytes]:
         with self._lock:
             return iter(list(self._index.keys()))
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Single sequential pass over the log instead of a random
+        ``get()`` per key (the ABC default)."""
+        with self._lock:
+            self._file.flush()
+            self._file.seek(0)
+            buf = self._file.read()
+            self._file.seek(0, os.SEEK_END)
+            entries = sorted(self._index.values())
+        out = []
+        for offset, _length in entries:
+            key, value, _ = decode_at(buf, offset)
+            if value is not None:
+                out.append((key, value))
+        return iter(out)
 
     # -- maintenance -------------------------------------------------------
 

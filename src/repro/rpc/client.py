@@ -116,6 +116,26 @@ class TieraClient:
     def health(self) -> Dict[str, Any]:
         return self._call("health")
 
+    # -- durability -------------------------------------------------------
+
+    def fsck(self, repair: bool = False) -> Dict[str, Any]:
+        """Run the metadata/tier cross-check scrub on the server."""
+        return self._call("fsck", repair=repair)
+
+    def snapshot(self, include_volatile: bool = False) -> Dict[str, Any]:
+        """Pull a full snapshot of the server's state.
+
+        Returns ``{"archive": <tar bytes>, "manifest": <dict>}``."""
+        result = self._call("snapshot", include_volatile=include_volatile)
+        return {
+            "archive": decode_bytes(result["archive"]),
+            "manifest": result["manifest"],
+        }
+
+    def restore(self, archive: bytes) -> Dict[str, Any]:
+        """Replace the server's state with a snapshot archive's."""
+        return self._call("restore", archive=encode_bytes(archive))
+
     def resilience(
         self, enable: Optional[bool] = None, replay: bool = False
     ) -> Dict[str, Any]:

@@ -202,6 +202,34 @@ class TieraRpcServer:
         out.update(res.summary())
         return out
 
+    # -- durability verbs (FSCK / SNAPSHOT / RESTORE) -----------------------
+
+    def _method_fsck(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Cross-check metadata against tier contents; ``repair=true``
+        fixes what it finds (see :func:`repro.core.durability.fsck`)."""
+        from repro.core.durability import fsck
+
+        return fsck(self.tiera.instance, repair=bool(params.get("repair")))
+
+    def _method_snapshot(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """A barman-style full snapshot: deterministic tar archive of
+        the instance's durable state, returned inline with its manifest."""
+        from repro.core.durability import snapshot_archive
+
+        blob, manifest = snapshot_archive(
+            self.tiera.instance,
+            include_volatile=bool(params.get("include_volatile")),
+        )
+        return {"archive": encode_bytes(blob), "manifest": manifest}
+
+    def _method_restore(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Replace the instance's entire state with a snapshot archive's."""
+        from repro.core.durability import restore_archive
+
+        return restore_archive(
+            self.tiera.instance, decode_bytes(params["archive"])
+        )
+
     def _method_tiers(self, params: Dict[str, Any]) -> list:
         return [
             {

@@ -125,6 +125,20 @@ class SimClock(Clock):
         """Move time forward by ``dt`` seconds, firing due callbacks."""
         self.run_until(self._now + dt)
 
+    def cancel_all(self) -> int:
+        """Cancel every pending callback; returns how many were live.
+
+        Used by crash simulation: a dead process takes its scheduled
+        background work (write-backs, repair replays) with it, and the
+        crash harnesses own the whole cluster, so clearing the queue
+        wholesale is the faithful model.
+        """
+        live = self.pending()
+        for _, _, handle in self._queue:
+            handle.cancelled = True
+        self._queue.clear()
+        return live
+
     def run_all(self, limit: int = 1_000_000) -> None:
         """Drain the queue entirely (bounded by ``limit`` firings)."""
         fired = 0

@@ -54,6 +54,26 @@ class CapacityExceededError(SimCloudError):
         )
 
 
+class ProcessCrash(BaseException):
+    """A simulated death of the Tiera server process at a named
+    operation boundary (crash-point injection).
+
+    Deliberately *not* a :class:`SimCloudError` — it subclasses
+    :class:`BaseException` so no ``except Exception`` handler on the
+    data path (retries, read-repair, background rule execution) can
+    absorb it: a real SIGKILL is not catchable either.  The crash-sweep
+    harness catches it at the top of the run, discards volatile tier
+    contents, and reopens the instance.
+    """
+
+    def __init__(self, point: str, occurrence: int = 0):
+        self.point = point
+        self.occurrence = occurrence
+        super().__init__(
+            f"simulated process crash at {point!r} (occurrence {occurrence})"
+        )
+
+
 class NoSuchKeyError(SimCloudError, KeyError):
     """GET/DELETE of a key the service does not hold."""
 

@@ -30,10 +30,24 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.simcloud.clock import Clock
-from repro.simcloud.errors import TransientServiceError
+from repro.simcloud.errors import ProcessCrash, TransientServiceError
 
 #: Library of named chaos scenarios, filled in at module bottom.
 SCENARIOS: Dict[str, "ChaosScenario"] = {}
+
+#: Crash points the instance data path announces, in the order a write
+#: primitive passes them.  Registered here (not discovered at runtime)
+#: so the sweep harness and the docs agree on the full set; the
+#: ``*.journaled`` / ``*.commit`` boundaries only fire when the
+#: durability layer is enabled.
+CRASH_POINTS: Tuple[str, ...] = (
+    "write.begin", "write.journaled", "write.data", "write.meta",
+    "write.commit",
+    "remove.begin", "remove.journaled", "remove.data", "remove.commit",
+    "rewrite.begin", "rewrite.journaled", "rewrite.data", "rewrite.commit",
+    "delete.begin", "delete.journaled", "delete.data", "delete.commit",
+    "checkpoint.begin", "checkpoint.done",
+)
 
 
 @dataclass(frozen=True)
@@ -332,6 +346,56 @@ class FaultInjector:
             "counts": {k: self.counts[k] for k in sorted(self.counts)},
             "injections": list(self.log),
         }
+
+
+class CrashPointInjector:
+    """Kills the process at a chosen operation boundary.
+
+    The instance's data path calls :meth:`reach` at every named crash
+    point.  An unarmed injector only records the visit (building the
+    deterministic crash-point schedule a sweep enumerates); an armed one
+    raises :class:`ProcessCrash` when the chosen visit — by global hit
+    index, or by (name, per-name occurrence) — comes around.
+
+    ``on_hit`` is the reference run's observation hook: called on every
+    visit *before* any crash decision, it lets the sweep harness record
+    the state digest at each boundary without perturbing the run.
+    """
+
+    def __init__(self, on_hit=None):
+        #: total visits across all points (the sweep's schedule index)
+        self.total = 0
+        #: per-point visit counts
+        self.hits: Dict[str, int] = {}
+        #: every visit in order: (global index, point name)
+        self.schedule: List[Tuple[int, str]] = []
+        self.on_hit = on_hit
+        self._armed_index: Optional[int] = None
+        self._armed_point: Optional[Tuple[str, int]] = None
+        #: the (point, occurrence) that actually fired, if any
+        self.fired: Optional[Tuple[str, int]] = None
+
+    def arm_index(self, index: int) -> "CrashPointInjector":
+        """Crash at the ``index``-th crash-point visit (0-based)."""
+        self._armed_index = index
+        return self
+
+    def arm(self, point: str, occurrence: int = 0) -> "CrashPointInjector":
+        """Crash at the ``occurrence``-th visit of ``point`` (0-based)."""
+        self._armed_point = (point, occurrence)
+        return self
+
+    def reach(self, point: str) -> None:
+        index = self.total
+        occurrence = self.hits.get(point, 0)
+        self.total = index + 1
+        self.hits[point] = occurrence + 1
+        self.schedule.append((index, point))
+        if self.on_hit is not None:
+            self.on_hit(index, point)
+        if self._armed_index == index or self._armed_point == (point, occurrence):
+            self.fired = (point, occurrence)
+            raise ProcessCrash(point, occurrence)
 
 
 class _ProbeService:

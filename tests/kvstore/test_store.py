@@ -1,6 +1,7 @@
 """LogStore / MemoryStore: roundtrips, recovery, compaction, torn tails."""
 
 import os
+import shutil
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -108,6 +109,53 @@ class TestLogStore:
             store.put(b"after", b"recovery")  # log still usable
         with LogStore(store_path) as store:
             assert store.get(b"after") == b"recovery"
+
+    def test_torn_tail_mid_record_truncation(self, store_path):
+        # Crash mid-append: the last record is cut short, not garbage.
+        with LogStore(store_path) as store:
+            store.put(b"first", b"one")
+            store.put(b"second", b"two")
+        size = os.path.getsize(store_path)
+        with open(store_path, "r+b") as raw:
+            raw.truncate(size - 3)
+        with LogStore(store_path) as store:
+            assert store.get(b"first") == b"one"
+            assert store.get(b"second") is None  # never fully written
+            store.put(b"second", b"again")       # log still appendable
+        with LogStore(store_path) as store:
+            assert store.get(b"second") == b"again"
+
+    def test_stale_compact_file_cleaned_on_open(self, store_path):
+        # Crash between writing the compaction temp file and the
+        # os.replace: the stale .compact was never the live store and
+        # must not shadow (or block) a later compaction.
+        with LogStore(store_path) as store:
+            store.put(b"a", b"live")
+        with open(store_path + ".compact", "wb") as raw:
+            raw.write(b"half-written compaction output")
+        with LogStore(store_path) as store:
+            assert store.get(b"a") == b"live"
+            store.put(b"a", b"newer")
+            store.compact()
+            assert store.get(b"a") == b"newer"
+        assert not os.path.exists(store_path + ".compact")
+
+    def test_compact_swap_survives_immediate_crash(self, store_path, tmp_path):
+        # Crash right after compact()'s os.replace, before any further
+        # writes or a clean close: the swapped-in file alone must be a
+        # complete, reopenable log (compact fsyncs before the swap).
+        snapshot = str(tmp_path / "crashed.db")
+        with LogStore(store_path) as store:
+            for i in range(9):
+                store.put(b"k%d" % (i % 3), b"v%d" % i)
+            store.delete(b"k0")
+            store.compact()
+            shutil.copyfile(store_path, snapshot)
+        with LogStore(snapshot) as store:
+            assert store.get(b"k0") is None
+            assert store.get(b"k1") == b"v7"
+            assert store.get(b"k2") == b"v8"
+            assert store.dead_bytes == 0
 
     def test_dead_bytes_tracking(self, store_path):
         with LogStore(store_path) as store:

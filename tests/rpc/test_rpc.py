@@ -199,3 +199,59 @@ class TestConcurrency:
         for i in range(50):
             client.put(f"k{i}", b"x")
         assert len(client.keys()) == 50
+
+
+class TestDurabilityVerbs:
+    def test_fsck_clean_over_rpc(self, client):
+        client.put("k", b"bytes")
+        report = client.fsck()
+        assert report["clean"] is True
+        assert report["counts"]["findings"] == 0
+
+    def test_fsck_repair_flag_round_trips(self, client):
+        client.put("k", b"bytes")
+        report = client.fsck(repair=True)
+        assert report["repair"] is True
+
+    def test_snapshot_restore_roundtrip(self, client):
+        for i in range(3):
+            client.put(f"obj{i}", b"payload-%d" % i)
+        result = client.snapshot()
+        manifest = result["manifest"]
+        assert manifest["objects"] == 3
+        assert result["archive"][:8]  # non-empty tar bytes
+
+        client.delete("obj0")
+        client.put("obj9", b"post-snapshot write")
+        restored = client.restore(result["archive"])
+        assert restored["verified"] is True
+        assert client.contains("obj0")
+        assert not client.contains("obj9")
+        assert client.get("obj1") == b"payload-1"
+
+    def test_restore_rejects_garbage_archive(self, client):
+        with pytest.raises(RpcError):
+            client.restore(b"this is not a tar archive")
+
+    def test_cli_fsck(self, live_server, capsys):
+        from repro.cli import main
+
+        code = main(["fsck", "--port", str(live_server.port)])
+        assert code == 0
+        assert '"clean": true' in capsys.readouterr().out
+
+    def test_cli_snapshot_and_restore(self, live_server, capsys, tmp_path):
+        from repro.cli import main
+
+        with TieraClient(live_server.host, live_server.port) as conn:
+            conn.put("cli-obj", b"cli bytes")
+        archive = str(tmp_path / "backup.tar")
+        port = str(live_server.port)
+        assert main(["snapshot", "--port", port, "--out", archive]) == 0
+        assert "1 objects" in capsys.readouterr().out
+        with TieraClient(live_server.host, live_server.port) as conn:
+            conn.delete("cli-obj")
+        assert main(["restore", archive, "--port", port]) == 0
+        assert '"verified": true' in capsys.readouterr().out
+        with TieraClient(live_server.host, live_server.port) as conn:
+            assert conn.get("cli-obj") == b"cli bytes"

@@ -285,3 +285,66 @@ def _render(cluster):
     from repro.obs.export import render_prometheus
 
     return render_prometheus(cluster.obs.metrics).splitlines()
+
+
+class TestCrashPointInjector:
+    def _injector(self, **kwargs):
+        from repro.simcloud.faults import CrashPointInjector
+
+        return CrashPointInjector(**kwargs)
+
+    def test_unarmed_records_schedule_without_firing(self):
+        injector = self._injector()
+        for point in ("write.begin", "write.data", "write.begin"):
+            injector.reach(point)
+        assert injector.schedule == [
+            (0, "write.begin"), (1, "write.data"), (2, "write.begin"),
+        ]
+        assert injector.hits == {"write.begin": 2, "write.data": 1}
+        assert injector.fired is None
+
+    def test_arm_index_fires_exactly_once_at_that_visit(self):
+        from repro.simcloud.errors import ProcessCrash
+
+        injector = self._injector().arm_index(1)
+        injector.reach("a")
+        with pytest.raises(ProcessCrash):
+            injector.reach("b")
+        assert injector.fired == ("b", 0)
+
+    def test_arm_point_occurrence_counts_per_name(self):
+        from repro.simcloud.errors import ProcessCrash
+
+        injector = self._injector().arm("write.data", 1)
+        injector.reach("write.data")      # occurrence 0: survives
+        injector.reach("write.begin")
+        with pytest.raises(ProcessCrash) as excinfo:
+            injector.reach("write.data")  # occurrence 1: dies
+        assert injector.fired == ("write.data", 1)
+        assert "write.data" in str(excinfo.value)
+
+    def test_on_hit_observes_every_visit_before_any_crash(self):
+        from repro.simcloud.errors import ProcessCrash
+
+        seen = []
+        injector = self._injector(on_hit=lambda i, p: seen.append((i, p)))
+        injector.arm_index(1)
+        injector.reach("a")
+        with pytest.raises(ProcessCrash):
+            injector.reach("b")
+        assert seen == [(0, "a"), (1, "b")]
+
+    def test_process_crash_is_not_a_catchable_service_error(self):
+        from repro.simcloud.errors import ProcessCrash, SimCloudError
+
+        # Deliberately a BaseException: no `except Exception` on the
+        # data path may absorb a simulated process death.
+        assert not issubclass(ProcessCrash, Exception)
+        assert not issubclass(ProcessCrash, SimCloudError)
+
+    def test_crash_point_names_are_registered(self):
+        from repro.simcloud.faults import CRASH_POINTS
+
+        assert "write.journaled" in CRASH_POINTS
+        assert "delete.commit" in CRASH_POINTS
+        assert len(CRASH_POINTS) == len(set(CRASH_POINTS))
