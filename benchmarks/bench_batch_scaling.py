@@ -1,0 +1,127 @@
+"""Batch scaling: throughput vs pipeline depth (extension experiment).
+
+The batched data path (``execute_batch``) overlaps independent items in
+virtual time: each item runs on its own scatter/join branch, so a batch
+costs its slowest lane — each tier's FCFS channels and bandwidth adding
+a queueing term — instead of the sum of its items.
+
+This experiment drives the Table 3 High Durability instance (Memcached
+read tier + synchronous EBS copy + S3 pushes) with a YCSB 50/50 mix at
+pipeline depths 1/2/4/8 over the *same* seeded op stream (the workload
+draws ops from one generator, so depth changes only the overlap).
+Depth 1 is the serial closed loop; throughput must rise monotonically
+with depth, flattening as the EBS volume's two channels saturate.
+
+Standalone use::
+
+    python benchmarks/bench_batch_scaling.py           # full table
+    python benchmarks/bench_batch_scaling.py --smoke   # depth 1 vs 8 gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.report import format_table, ms
+from repro.bench.runner import run_pipelined
+from repro.core.server import TieraServer
+from repro.core.templates import high_durability_instance
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.resources import RequestContext
+from repro.tiers.registry import TierRegistry
+from repro.workloads.ycsb import mixed_50_50
+
+RECORDS = 200        # 4 KB each, well inside the 100 MB tiers
+OPERATIONS = 400
+DEPTHS = (1, 2, 4, 8)
+SEED = 11
+
+
+def _measure(depth: int):
+    """A fresh stack per depth so runs never share tier state."""
+    cluster = Cluster(seed=SEED)
+    registry = TierRegistry(cluster)
+    instance = high_durability_instance(registry, mem="100M", ebs="100M")
+    server = TieraServer(instance)
+    workload = mixed_50_50(server, RECORDS, seed=3)
+    ctx = RequestContext(cluster.clock)
+    workload.load(ctx=ctx)
+    cluster.clock.run_until(ctx.time)
+    return run_pipelined(
+        cluster.clock, server, workload, OPERATIONS, depth=depth
+    )
+
+
+def run_scaling():
+    throughputs = {}
+    rows = []
+    for depth in DEPTHS:
+        result = _measure(depth)
+        throughputs[depth] = result.throughput
+        rows.append(
+            [
+                depth,
+                round(result.throughput, 1),
+                round(throughputs[depth] / throughputs[DEPTHS[0]], 2),
+                round(ms(result.latencies.mean("get")), 2),
+                round(ms(result.latencies.mean("put")), 2),
+                result.errors,
+            ]
+        )
+    table = format_table(
+        "Batch scaling: High Durability instance, YCSB 50/50, 4 KB records",
+        ["depth", "ops/s", "speedup", "get ms", "put ms", "errors"],
+        rows,
+        note=(
+            "depth 1 is the serial closed loop; deeper pipelines overlap\n"
+            "independent items across each tier's channels (max-plus cost),\n"
+            "flattening as the EBS volume's two channels saturate."
+        ),
+    )
+    return throughputs, table
+
+
+def test_batch_scaling(benchmark, emit):
+    out = {}
+
+    def experiment():
+        out["throughputs"], out["table"] = run_scaling()
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("batch_scaling", out["table"])
+    throughputs = out["throughputs"]
+    for lower, higher in zip(DEPTHS, DEPTHS[1:]):
+        assert throughputs[higher] > throughputs[lower], (
+            f"depth {higher} ({throughputs[higher]:.1f} ops/s) should beat "
+            f"depth {lower} ({throughputs[lower]:.1f} ops/s)"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Throughput vs batch depth on a 3-tier instance."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run depth 1 vs 8 only; exit 1 unless batched beats serial",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        serial = _measure(1).throughput
+        batched = _measure(8).throughput
+        print(f"serial  (depth 1): {serial:.1f} ops/s")
+        print(f"batched (depth 8): {batched:.1f} ops/s")
+        if not batched > serial:
+            print("FAIL: batched throughput does not beat serial", file=sys.stderr)
+            return 1
+        print(f"OK: batched beats serial ({batched / serial:.2f}x)")
+        return 0
+    _, table = run_scaling()
+    print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,14 +44,15 @@ def main() -> None:
     print(f"compiled instance: {instance}")
 
     # PUT: the policy places the object in Memcached and marks it dirty.
-    ctx = server.put("greeting", b"hello, tiered world", tags=("demo",))
+    result = server.put_object("greeting", b"hello, tiered world",
+                               tags=["demo"])
     meta = server.stat("greeting")
-    print(f"PUT took {ctx.elapsed * 1000:.3f} ms "
+    print(f"PUT took {result.latency * 1000:.3f} ms "
           f"→ locations={sorted(meta.locations)} dirty={meta.dirty}")
 
     # GET: served from the fastest tier holding the object.
-    data, ctx = server.get_with_context("greeting")
-    print(f"GET returned {data!r} in {ctx.elapsed * 1000:.3f} ms")
+    result = server.get_object("greeting")
+    print(f"GET returned {result.value!r} in {result.latency * 1000:.3f} ms")
 
     # Let simulated time pass: the timer event writes dirty data back.
     cluster.clock.advance(31)
@@ -78,12 +79,12 @@ def main() -> None:
             )
         ],
     )
-    server.put("compressible", b"repetitive " * 1000)
+    server.put_object("compressible", b"repetitive " * 1000)
     stored = instance.tiers.get("tier1").service.size_of("compressible")
     print(f"compress-on-insert: 11000 logical bytes → {stored} stored bytes")
 
     # Observability: trace one GET end to end, then dump the registry.
-    server.get("greeting", trace=True)
+    server.get_object("greeting", trace=True)
     trace = server.last_trace()
     print(f"traced GET served by {trace.attrs.get('served_by')}: "
           + ", ".join(f"{span.name} ({span.kind})" for span in trace.children))

@@ -132,3 +132,69 @@ def run_closed_loop(
 
         result.tier_report = tier_report(before_snapshot, obs.metrics.snapshot())
     return result
+
+
+def run_pipelined(
+    clock: SimClock,
+    server,
+    op_source,
+    operations: int,
+    depth: int = 8,
+    obs=None,
+) -> RunResult:
+    """Drive one pipelined client for a fixed operation count.
+
+    Ops flow through ``server.execute_batch`` in chunks of ``depth``;
+    within a chunk, independent items overlap in virtual time across
+    ``depth`` lanes, so the chunk costs roughly its slowest lane rather
+    than the sum of its items.  ``depth=1`` degenerates to a serial
+    closed loop (one op per round trip) — the baseline batched runs are
+    compared against.
+
+    ``op_source`` supplies the operations: either an object with a
+    ``batch(count)`` method (e.g. :class:`~repro.workloads.ycsb.
+    YcsbWorkload`) or a callable ``count -> List[BatchOp]``.  The
+    returned :class:`RunResult`'s ``duration`` is the virtual time the
+    whole run spanned, so ``throughput`` is directly comparable across
+    depths.  Item failures count as errors; a refused batch
+    (backpressure) propagates to the caller.
+    """
+    if operations < 1:
+        raise ValueError("need at least one operation")
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    before_snapshot = obs.metrics.snapshot() if obs is not None else None
+    take = op_source.batch if hasattr(op_source, "batch") else op_source
+    start = clock.now()
+    result = RunResult(duration=0.0)
+    issued = 0
+    cursor = start
+    while issued < operations:
+        count = min(depth, operations - issued)
+        ops = take(count)
+        if cursor > clock.now():
+            clock.run_until(cursor)
+        ctx = RequestContext(clock, at=cursor)
+        try:
+            batch = server.execute_batch(ops, parallelism=depth, ctx=ctx)
+        except (TieraError, SimCloudError):
+            result.errors += count
+            issued += count
+            cursor = ctx.time
+            continue
+        for item in batch.results:
+            if item.ok:
+                result.operations += 1
+                result.latencies.record(item.latency, item.op)
+            else:
+                result.errors += 1
+        issued += count
+        cursor = ctx.time
+    result.duration = cursor - start
+    if clock.now() < cursor:
+        clock.run_until(cursor)
+    if obs is not None:
+        from repro.obs.export import tier_report
+
+        result.tier_report = tier_report(before_snapshot, obs.metrics.snapshot())
+    return result

@@ -11,6 +11,13 @@ work (snapshot, versioning).
 """
 
 from repro.core.actions import Action
+from repro.core.api import (
+    AdmissionController,
+    BatchOp,
+    BatchResult,
+    OpResult,
+    StorageAPI,
+)
 from repro.core.conditions import (
     And,
     AttrRef,
@@ -22,11 +29,13 @@ from repro.core.conditions import (
     TierFull,
 )
 from repro.core.errors import (
+    BackpressureError,
     NoSuchObjectError,
     PolicyError,
     TierUnavailableError,
     TieraError,
     UnknownTierError,
+    code_for,
 )
 from repro.core.events import ActionEvent, Event, ThresholdEvent, TimerEvent
 from repro.core.instance import DROP, TieraInstance
@@ -47,6 +56,10 @@ from repro.core.tierset import TierSet
 
 __all__ = [
     "Action",
+    "AdmissionController",
+    "BackpressureError",
+    "BatchOp",
+    "BatchResult",
     "DROP",
     "ActionEvent",
     "AllObjects",
@@ -62,11 +75,13 @@ __all__ = [
     "Not",
     "ObjectMeta",
     "ObjectsWhere",
+    "OpResult",
     "Or",
     "Policy",
     "PolicyError",
     "Rule",
     "Selector",
+    "StorageAPI",
     "TaggedObjects",
     "ThresholdEvent",
     "TierFull",
@@ -79,4 +94,5 @@ __all__ = [
     "TieraServer",
     "TimerEvent",
     "UnknownTierError",
+    "code_for",
 ]

@@ -1,4 +1,13 @@
-"""Tiera exception hierarchy."""
+"""Tiera exception hierarchy and the stable error taxonomy.
+
+Every exception a façade can surface carries a stable ``code`` string.
+Clients — including the RPC client on the far side of a socket — branch
+on codes, never on exception class names or message text, so the
+taxonomy is part of the wire protocol: codes are append-only and never
+renamed.  :func:`code_for` maps any exception (including simcloud
+errors and plain ``ValueError``/``KeyError`` from argument validation)
+to its code.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +15,14 @@ from __future__ import annotations
 class TieraError(Exception):
     """Base class for Tiera middleware errors."""
 
+    #: Stable machine-readable error code (see docs/API.md).
+    code = "INTERNAL"
+
 
 class NoSuchObjectError(TieraError, KeyError):
     """GET/DELETE of an object the instance does not hold."""
+
+    code = "NO_SUCH_OBJECT"
 
     def __init__(self, key: str):
         self.key = key
@@ -17,6 +31,8 @@ class NoSuchObjectError(TieraError, KeyError):
 
 class UnknownTierError(TieraError, KeyError):
     """A policy or request referenced a tier name not in the instance."""
+
+    code = "UNKNOWN_TIER"
 
     def __init__(self, tier: str):
         self.tier = tier
@@ -31,6 +47,8 @@ class TierUnavailableError(TieraError):
     per-tier failure, not just whichever happened last.  The raiser also
     chains the final cause via ``raise ... from``.
     """
+
+    code = "TIER_UNAVAILABLE"
 
     def __init__(self, key: str, detail: str = "", causes=()):
         self.key = key
@@ -49,6 +67,8 @@ class CorruptObjectError(TieraError):
     """A tier returned bytes whose checksum does not match the object's
     recorded content fingerprint (bit rot caught by a verifying read)."""
 
+    code = "CORRUPT_OBJECT"
+
     def __init__(self, key: str, tier: str):
         self.key = key
         self.tier = tier
@@ -58,6 +78,8 @@ class CorruptObjectError(TieraError):
 class BreakerOpenError(TieraError):
     """The tier's circuit breaker is open: the resilience layer refused
     the operation without touching the (presumed still sick) service."""
+
+    code = "BREAKER_OPEN"
 
     def __init__(self, tier: str, until: float = 0.0):
         self.tier = tier
@@ -71,11 +93,65 @@ class BreakerOpenError(TieraError):
 class PolicyError(TieraError):
     """A rule is malformed or cannot be installed/executed."""
 
+    code = "POLICY_ERROR"
+
 
 class NoCapacityError(TieraError):
     """A store could not find or make room in the target tier."""
+
+    code = "NO_CAPACITY"
 
     def __init__(self, tier: str, key: str):
         self.tier = tier
         self.key = key
         super().__init__(f"tier {tier!r} cannot fit object {key!r}")
+
+
+class BackpressureError(TieraError):
+    """Admission control refused the work: too many operations in
+    flight.  Back off and retry; nothing was attempted."""
+
+    code = "BACKPRESSURE"
+
+    def __init__(self, requested: int, inflight: int, limit: int):
+        self.requested = requested
+        self.inflight = inflight
+        self.limit = limit
+        super().__init__(
+            f"admission refused: {requested} ops requested with "
+            f"{inflight}/{limit} already in flight"
+        )
+
+
+#: Codes for exception classes that live outside this module (simcloud
+#: faults, RPC transport) or built-ins raised by argument validation.
+_FALLBACK_CODES = {
+    "ServiceUnavailableError": "SERVICE_UNAVAILABLE",
+    "TransientServiceError": "TRANSIENT_ERROR",
+    "CapacityExceededError": "CAPACITY_EXCEEDED",
+    "NoSuchKeyError": "NO_SUCH_KEY",
+    "KeyError": "BAD_REQUEST",
+    "ValueError": "BAD_REQUEST",
+    "TypeError": "BAD_REQUEST",
+}
+
+#: Code attached to a batch whose items did not all succeed.
+PARTIAL_FAILURE = "PARTIAL_FAILURE"
+#: Code for an RPC method name the server does not export.
+UNKNOWN_METHOD = "UNKNOWN_METHOD"
+#: Code for malformed arguments (wrong type, unknown op, bad frame).
+BAD_REQUEST = "BAD_REQUEST"
+#: Catch-all for unclassified server-side failures.
+INTERNAL = "INTERNAL"
+
+
+def code_for(exc: BaseException) -> str:
+    """The stable error code for ``exc`` (``INTERNAL`` if unclassified)."""
+    code = getattr(exc, "code", None)
+    if isinstance(code, str) and code:
+        return code
+    for klass in type(exc).__mro__:
+        mapped = _FALLBACK_CODES.get(klass.__name__)
+        if mapped is not None:
+            return mapped
+    return INTERNAL

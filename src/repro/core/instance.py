@@ -318,6 +318,51 @@ class TieraInstance:
             dur.commit(seq)
             self._crash_point("write.commit")
 
+    def write_fanout(
+        self,
+        key: str,
+        data: bytes,
+        tier_names: Sequence[str],
+        ctx: RequestContext,
+        evict_to: Optional[str] = None,
+        on_write=None,
+    ) -> None:
+        """Place ``data`` in several tiers, overlapped in virtual time.
+
+        The inserts are independent — a Memcached put does not wait for
+        the EBS put in a real multi-tier store — so each runs on its own
+        branch of a scatter/join: the request pays ``max()`` over the
+        tier inserts (plus any queueing each suffered on its tier's
+        channels), not their sum.  State effects keep code order, so
+        outcomes and digests match the old serial loop exactly.
+
+        Failure semantics also match the serial loop: the first failing
+        insert stops later tiers from being attempted, and its exception
+        re-raises after the join (the failed branch's spent time — e.g.
+        a full timeout — still holds the join back).  ``on_write`` is
+        called with each tier name that completed.
+        """
+        names = list(tier_names)
+        if len(names) == 1:
+            self.write_to_tier(key, data, names[0], ctx, evict_to=evict_to)
+            if on_write is not None:
+                on_write(names[0])
+            return
+        branches = ctx.scatter()
+        failure: Optional[Exception] = None
+        for tier_name in names:
+            bctx = branches.branch()
+            try:
+                self.write_to_tier(key, data, tier_name, bctx, evict_to=evict_to)
+            except Exception as exc:  # ProcessCrash is BaseException: flies
+                failure = exc
+                break
+            if on_write is not None:
+                on_write(tier_name)
+        branches.join()
+        if failure is not None:
+            raise failure
+
     def _make_room(
         self,
         tier: Tier,
@@ -364,6 +409,13 @@ class TieraInstance:
         specs declare fastest first) among the object's recorded
         locations; ``prefer`` overrides.  Aliases (storeOnce) resolve to
         their canonical content.
+
+        Failover attempts overlap in virtual time: each tier actually
+        tried runs on its own branch of a scatter/join, so a read that
+        fails over from a timed-out tier to a healthy one costs
+        ``max(timeout, healthy-read)`` rather than their sum — the
+        hedged-request shape.  A tier already marked unavailable is
+        skipped for free, as before.
         """
         physical = self.resolve_alias(key)
         meta = self.meta(physical)
@@ -381,6 +433,7 @@ class TieraInstance:
         corrupted: List[str] = []
         served: Optional[Tier] = None
         data = b""
+        branches = ctx.scatter()
         for tier in candidates:
             if not tier.available:
                 causes.append((
@@ -392,12 +445,14 @@ class TieraInstance:
                     ),
                 ))
                 continue
+            bctx = branches.branch()
             try:
                 if res is None:
-                    data = tier.get(physical, ctx)
+                    data = tier.get(physical, bctx)
                 else:
                     data = res.attempt(
-                        tier, "get", lambda t=tier: t.get(physical, ctx), ctx
+                        tier, "get",
+                        lambda t=tier, c=bctx: t.get(physical, c), bctx,
                     )
             except BreakerOpenError as exc:
                 causes.append((tier.name, exc))
@@ -418,14 +473,17 @@ class TieraInstance:
                 continue
             served = tier
             break
+        branches.join()  # even a fruitless hedge's time is the client's
         if served is None:
             raise TierUnavailableError(key, causes=causes) from (
                 causes[-1][1] if causes else None
             )
         if corrupted and res is not None:
             res.read_repair(physical, data, corrupted, ctx)
-        # The "which tier served this GET?" answer, both aggregate
-        # (registry counter) and per-request (trace root attribute).
+        # The "which tier served this GET?" answer: per-context (for the
+        # OpResult envelope), aggregate (registry counter), and on the
+        # trace root when tracing is active.
+        ctx.served_by = served.name
         self._gets_served.inc(tier=served.name)
         if ctx.trace is not None:
             ctx.trace.attrs["served_by"] = served.name
@@ -451,8 +509,15 @@ class TieraInstance:
         seq = dur.journal_rewrite(key, data, updates) if dur is not None else None
         if seq is not None:
             self._crash_point("rewrite.journaled")
-        for tier_name in sorted(meta.locations):
-            self.tiers.get(tier_name).put(key, data, ctx)
+        locations = sorted(meta.locations)
+        if len(locations) > 1:
+            branches = ctx.scatter()
+            for tier_name in locations:
+                self.tiers.get(tier_name).put(key, data, branches.branch())
+            branches.join()
+        else:
+            for tier_name in locations:
+                self.tiers.get(tier_name).put(key, data, ctx)
         self._crash_point("rewrite.data")
         meta.size = len(data)
         for attr, value in (updates or {}).items():
@@ -567,9 +632,17 @@ class TieraInstance:
         elif self._handoff_to_heir(meta, ctx):
             self._drop_meta(key)
         else:
-            for tier_name in sorted(meta.locations):
-                tier = self.tiers.get(tier_name)
-                if tier.contains(key) and tier.available:
+            holders = [
+                self.tiers.get(name) for name in sorted(meta.locations)
+            ]
+            holders = [t for t in holders if t.contains(key) and t.available]
+            if len(holders) > 1:
+                branches = ctx.scatter()
+                for tier in holders:
+                    tier.delete(key, branches.branch())
+                branches.join()
+            else:
+                for tier in holders:
                     tier.delete(key, ctx)
             self._crash_point("delete.data")
             self._drop_dedup_entry(meta)

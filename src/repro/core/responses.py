@@ -85,11 +85,14 @@ class Store(Response):
         instance = scope.instance
         for key in self.what.resolve(scope):
             data = _payload_for(scope, key, ctx)
-            for tier_name in self.to:
-                instance.write_to_tier(
-                    key, data, tier_name, ctx, evict_to=self.evict_to
-                )
-                _note_write(scope, key, tier_name, placed=True)
+            # Multi-tier inserts overlap: the request pays max() over the
+            # destination tiers, not their sum (see write_fanout).
+            instance.write_fanout(
+                key, data, self.to, ctx, evict_to=self.evict_to,
+                on_write=lambda tier, k=key: _note_write(
+                    scope, k, tier, placed=True
+                ),
+            )
 
 
 @dataclass
@@ -123,11 +126,12 @@ class StoreOnce(Response):
                 if scope.action is not None and scope.action.key == key:
                     scope.action.placed = True
                 continue
-            for tier_name in self.to:
-                instance.write_to_tier(
-                    key, data, tier_name, ctx, evict_to=self.evict_to
-                )
-                _note_write(scope, key, tier_name, placed=True)
+            instance.write_fanout(
+                key, data, self.to, ctx, evict_to=self.evict_to,
+                on_write=lambda tier, k=key: _note_write(
+                    scope, k, tier, placed=True
+                ),
+            )
             instance.dedup_register(checksum, key)
 
 
@@ -185,11 +189,14 @@ class Copy(Response):
                 if start > ctx.time:
                     ctx.wait(start - ctx.time)
             copied_durable = False
-            for tier_name in self.to:
-                instance.write_to_tier(key, data, tier_name, ctx)
-                _note_write(scope, key, tier_name, placed=False)
-                if instance.tiers.get(tier_name).durable:
+
+            def note_copy(tier, k=key):
+                nonlocal copied_durable
+                _note_write(scope, k, tier, placed=False)
+                if instance.tiers.get(tier).durable:
                     copied_durable = True
+
+            instance.write_fanout(key, data, self.to, ctx, on_write=note_copy)
             if self.clear_dirty and copied_durable:
                 meta = instance.meta(key)
                 meta.dirty = False
@@ -223,11 +230,14 @@ class Move(Response):
                 if start > ctx.time:
                     ctx.wait(start - ctx.time)
             landed_durable = False
-            for tier_name in self.to:
-                instance.write_to_tier(key, data, tier_name, ctx)
-                _note_write(scope, key, tier_name, placed=True)
-                if instance.tiers.get(tier_name).durable:
+
+            def note_move(tier, k=key):
+                nonlocal landed_durable
+                _note_write(scope, k, tier, placed=True)
+                if instance.tiers.get(tier).durable:
                     landed_durable = True
+
+            instance.write_fanout(key, data, self.to, ctx, on_write=note_move)
             for tier_name in sources - set(self.to):
                 instance.remove_from_tier(key, tier_name, ctx)
             if landed_durable:

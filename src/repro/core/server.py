@@ -11,22 +11,45 @@ object.
 
 from __future__ import annotations
 
+import warnings
 import zlib
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core import api
 from repro.core.actions import Action, DELETE, GET, INSERT
+from repro.core.api import (
+    AdmissionController,
+    BatchOp,
+    BatchResult,
+    OpResult,
+)
+from repro.core.errors import TieraError, code_for
 from repro.core.instance import TieraInstance
 from repro.core.objects import ObjectMeta, content_checksum
+from repro.simcloud.errors import SimCloudError
 from repro.simcloud.resources import RequestContext
 
 
 class TieraServer:
-    """PUT/GET façade over one :class:`TieraInstance`."""
+    """The :class:`~repro.core.api.StorageAPI` façade over one
+    :class:`TieraInstance`.
 
-    def __init__(self, instance: TieraInstance):
+    Single-object verbs return :class:`~repro.core.api.OpResult`
+    envelopes; batch verbs run their items across ``parallelism``
+    concurrent lanes in virtual time and return a
+    :class:`~repro.core.api.BatchResult`.  The legacy positional verbs
+    (``put``/``get``/``delete``) remain as deprecation shims.
+    """
+
+    def __init__(
+        self,
+        instance: TieraInstance,
+        max_inflight: int = api.DEFAULT_MAX_INFLIGHT,
+    ):
         self.instance = instance
         self.clock = instance.clock
         self.obs = instance.obs
+        self.admission = AdmissionController(max_inflight)
         metrics = self.obs.metrics
         self._requests = metrics.counter(
             "tiera_requests_total", "Client PUT/GET/DELETE requests served."
@@ -37,6 +60,20 @@ class TieraServer:
         self._request_seconds = metrics.histogram(
             "tiera_request_seconds",
             "Client-observed simulated latency per request.",
+        )
+        self._batches = metrics.counter(
+            "tiera_batches_total", "Batch requests served."
+        )
+        self._batch_items = metrics.counter(
+            "tiera_batch_items_total", "Operations submitted inside batches."
+        )
+        self._batch_seconds = metrics.histogram(
+            "tiera_batch_seconds",
+            "Client-observed simulated latency per batch.",
+        )
+        self._backpressure = metrics.counter(
+            "tiera_backpressure_total",
+            "Requests refused by admission control.",
         )
 
     def _ctx(self, ctx: Optional[RequestContext]) -> RequestContext:
@@ -58,33 +95,105 @@ class TieraServer:
                 root, ctx, error=f"{type(error).__name__}: {error}"
             )
 
-    # -- the PUT/GET API (§2.1) ----------------------------------------------
+    # -- the StorageAPI surface (envelope verbs) -----------------------------
 
-    def put(
+    def put_object(
         self,
         key: str,
         data: bytes,
-        tags: Iterable[str] = (),
+        *,
+        tags: Optional[List[str]] = None,
         ctx: Optional[RequestContext] = None,
         trace: bool = False,
-    ) -> RequestContext:
-        """Store (or overwrite) an object; returns the request context,
-        whose ``elapsed`` is the client-observed latency.  ``trace=True``
-        records a full trace for this request even when the instance's
-        tracer is not globally enabled."""
-        ctx = self._ctx(ctx)
-        root, started = self._begin("put", key, ctx, trace)
+    ) -> OpResult:
+        """Store (or overwrite) an object; failure comes back in the
+        envelope (``ok=False`` + stable error code), not as a raise."""
+        return self._run_op(
+            BatchOp.put(key, data, tags=tags), self._ctx(ctx), trace
+        )
+
+    def get_object(
+        self,
+        key: str,
+        *,
+        prefer: Optional[str] = None,
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
+    ) -> OpResult:
+        """Retrieve an object; the payload rides in ``result.value``."""
+        return self._run_op(
+            BatchOp.get(key, prefer=prefer), self._ctx(ctx), trace
+        )
+
+    def delete_object(
+        self,
+        key: str,
+        *,
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
+    ) -> OpResult:
+        return self._run_op(BatchOp.delete(key), self._ctx(ctx), trace)
+
+    def _run_op(
+        self, op: BatchOp, ctx: RequestContext, trace: bool = False
+    ) -> OpResult:
+        """Execute one op, capturing domain failures into the envelope.
+
+        Only Tiera/simcloud errors are data; programming errors (and
+        :class:`~repro.simcloud.errors.ProcessCrash`, a BaseException)
+        still propagate.
+        """
+        root, started = self._begin(op.op, op.key, ctx, trace)
         try:
-            self._put(key, data, tags, ctx)
+            result = self._apply_op(op, ctx)
+        except (TieraError, SimCloudError) as exc:
+            self._end(op.op, root, ctx, started, exc)
+            return OpResult(
+                op=op.op,
+                key=op.key,
+                ok=False,
+                latency=ctx.time - started,
+                error=code_for(exc),
+                error_message=str(exc),
+                error_type=type(exc).__name__,
+                exception=exc,
+            )
         except BaseException as exc:
-            self._end("put", root, ctx, started, exc)
+            self._end(op.op, root, ctx, started, exc)
             raise
-        self._end("put", root, ctx, started)
-        return ctx
+        self._end(op.op, root, ctx, started)
+        result.latency = ctx.time - started
+        return result
+
+    def _apply_op(self, op: BatchOp, ctx: RequestContext) -> OpResult:
+        if op.op == api.PUT:
+            meta = self._put(op.key, op.data, op.tags or (), ctx)
+            return OpResult(
+                op=api.PUT,
+                key=op.key,
+                ok=True,
+                tier=",".join(sorted(meta.locations)),
+                checksum=meta.checksum,
+                size=len(op.data),
+            )
+        if op.op == api.GET:
+            ctx.served_by = None
+            data = self._get(op.key, ctx, op.prefer)
+            return OpResult(
+                op=api.GET,
+                key=op.key,
+                ok=True,
+                tier=ctx.served_by or "",
+                checksum=content_checksum(data),
+                size=len(data),
+                value=data,
+            )
+        self._delete(op.key, ctx)
+        return OpResult(op=api.DELETE, key=op.key, ok=True)
 
     def _put(
         self, key: str, data: bytes, tags: Iterable[str], ctx: RequestContext
-    ) -> None:
+    ) -> ObjectMeta:
         instance = self.instance
         if instance.versioning_enabled and instance.has_object(key):
             instance.preserve_version(key, ctx)
@@ -112,14 +221,16 @@ class TieraServer:
             # to); overwritten objects are refreshed wherever they
             # already live, minus tiers a reactive copy just wrote.
             if prior_locations:
-                for tier_name in sorted(prior_locations - action.stored_in):
-                    instance.write_to_tier(key, data, tier_name, ctx)
+                stale = sorted(prior_locations - action.stored_in)
+                if stale:
+                    instance.write_fanout(key, data, stale, ctx)
             elif instance.tiers.first().name not in action.stored_in:
                 self._default_store(action, ctx)
             # The default placement changed tier occupancy after the
             # dispatch-time check: give threshold rules another look.
             instance.control.evaluate_thresholds(ctx, action=action)
         instance.persist_meta(meta)
+        return meta
 
     def _default_store(self, action: Action, ctx: RequestContext) -> None:
         """No rule placed the object: put it in the first-declared tier,
@@ -131,12 +242,8 @@ class TieraServer:
             action.key, action.data or b"", first, ctx, evict_to=evict_to
         )
 
-    def get(
-        self,
-        key: str,
-        ctx: Optional[RequestContext] = None,
-        prefer: Optional[str] = None,
-        trace: bool = False,
+    def _get(
+        self, key: str, ctx: RequestContext, prefer: Optional[str]
     ) -> bytes:
         """Retrieve an object's content.
 
@@ -145,19 +252,6 @@ class TieraServer:
         owns the key; install a ``decrypt`` response or call it
         explicitly), so encrypted objects come back as stored.
         """
-        ctx = self._ctx(ctx)
-        root, started = self._begin("get", key, ctx, trace)
-        try:
-            data = self._get(key, ctx, prefer)
-        except BaseException as exc:
-            self._end("get", root, ctx, started, exc)
-            raise
-        self._end("get", root, ctx, started)
-        return data
-
-    def _get(
-        self, key: str, ctx: RequestContext, prefer: Optional[str]
-    ) -> bytes:
         instance = self.instance
         meta = instance.meta(key)
         action = Action(kind=GET, key=key, meta=meta)
@@ -172,6 +266,157 @@ class TieraServer:
             data = zlib.decompress(data)
         return data
 
+    def _delete(self, key: str, ctx: RequestContext) -> None:
+        instance = self.instance
+        meta = instance.meta(key)
+        action = Action(kind=DELETE, key=key, meta=meta)
+        instance.control.dispatch_action(action, ctx)
+        if instance.has_object(key):
+            instance.delete_object(key, ctx)
+
+    # -- batch verbs ---------------------------------------------------------
+
+    def execute_batch(
+        self,
+        ops: Sequence[BatchOp],
+        *,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
+    ) -> BatchResult:
+        """Run a batch of independent operations, overlapped in virtual
+        time across ``parallelism`` concurrent lanes.
+
+        Items execute in submission order (so seeded latency draws are
+        schedule-independent) but *cost* as if pipelined: each item
+        starts on the earliest-free lane, and the batch's latency is the
+        latest lane completion — max-plus-queueing, not a sum.  Results
+        come back in submission order; item failures are captured in
+        their envelopes (the batch's ``code`` is ``PARTIAL_FAILURE``),
+        never raised.  The only raise is
+        :class:`~repro.core.errors.BackpressureError`, *before* any item
+        runs, when admission control refuses the batch.
+        """
+        ops = list(ops)
+        if parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        ctx = self._ctx(ctx)
+        try:
+            self.admission.acquire(len(ops))
+        except TieraError:
+            self._backpressure.inc(op="batch")
+            raise
+        root = self.obs.tracer.start_request(
+            "batch", f"{len(ops)} ops", ctx, force=trace
+        )
+        started = ctx.time
+        lanes = [ctx.time] * max(1, min(parallelism, len(ops)))
+        results: List[OpResult] = []
+        try:
+            branches = ctx.scatter()
+            for op in ops:
+                lane = min(range(len(lanes)), key=lanes.__getitem__)
+                bctx = branches.branch(at=lanes[lane])
+                results.append(self._run_op(op, bctx))
+                lanes[lane] = bctx.time
+            branches.join()
+        finally:
+            self.admission.release(len(ops))
+        self._batches.inc()
+        self._batch_items.inc(len(ops))
+        self._batch_seconds.observe(ctx.time - started)
+        if root is not None:
+            root.attrs["items"] = len(ops)
+            root.attrs["parallelism"] = len(lanes)
+        self.obs.tracer.finish_request(root, ctx)
+        return BatchResult(
+            results=results,
+            latency=ctx.time - started,
+            parallelism=len(lanes),
+        )
+
+    def put_many(
+        self,
+        items: Iterable[Tuple[str, bytes]],
+        *,
+        tags: Optional[List[str]] = None,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+        ctx: Optional[RequestContext] = None,
+    ) -> BatchResult:
+        return self.execute_batch(
+            api.batch_from_verbs(api.PUT, items, tags=tags),
+            parallelism=parallelism, ctx=ctx,
+        )
+
+    def get_many(
+        self,
+        keys: Iterable[str],
+        *,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+        ctx: Optional[RequestContext] = None,
+    ) -> BatchResult:
+        return self.execute_batch(
+            api.batch_from_verbs(api.GET, keys),
+            parallelism=parallelism, ctx=ctx,
+        )
+
+    def delete_many(
+        self,
+        keys: Iterable[str],
+        *,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+        ctx: Optional[RequestContext] = None,
+    ) -> BatchResult:
+        return self.execute_batch(
+            api.batch_from_verbs(api.DELETE, keys),
+            parallelism=parallelism, ctx=ctx,
+        )
+
+    # -- legacy verbs (deprecated shims over the envelope API) ---------------
+
+    @staticmethod
+    def _deprecated(old: str, new: str) -> None:
+        warnings.warn(
+            f"TieraServer.{old} is deprecated; use {new} (see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def put(
+        self,
+        key: str,
+        data: bytes,
+        tags: Iterable[str] = (),
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
+    ) -> RequestContext:
+        """Deprecated: use :meth:`put_object` (envelope) instead.
+
+        Preserves the original contract — returns the request context,
+        whose ``elapsed`` is the client-observed latency, and raises on
+        failure.
+        """
+        self._deprecated("put", "put_object / put_many")
+        ctx = self._ctx(ctx)
+        self.put_object(
+            key, data, tags=list(tags) if tags else None, ctx=ctx,
+            trace=trace,
+        ).raise_for_error()
+        return ctx
+
+    def get(
+        self,
+        key: str,
+        ctx: Optional[RequestContext] = None,
+        prefer: Optional[str] = None,
+        trace: bool = False,
+    ) -> bytes:
+        """Deprecated: use :meth:`get_object` (envelope) instead."""
+        self._deprecated("get", "get_object / get_many")
+        result = self.get_object(key, prefer=prefer, ctx=ctx, trace=trace)
+        result.raise_for_error()
+        return result.value
+
     def get_with_context(
         self, key: str, ctx: Optional[RequestContext] = None
     ) -> "tuple[bytes, RequestContext]":
@@ -184,19 +429,10 @@ class TieraServer:
         ctx: Optional[RequestContext] = None,
         trace: bool = False,
     ) -> RequestContext:
+        """Deprecated: use :meth:`delete_object` (envelope) instead."""
+        self._deprecated("delete", "delete_object / delete_many")
         ctx = self._ctx(ctx)
-        root, started = self._begin("delete", key, ctx, trace)
-        try:
-            instance = self.instance
-            meta = instance.meta(key)
-            action = Action(kind=DELETE, key=key, meta=meta)
-            instance.control.dispatch_action(action, ctx)
-            if instance.has_object(key):
-                instance.delete_object(key, ctx)
-        except BaseException as exc:
-            self._end("delete", root, ctx, started, exc)
-            raise
-        self._end("delete", root, ctx, started)
+        self.delete_object(key, ctx=ctx, trace=trace).raise_for_error()
         return ctx
 
     # -- introspection ---------------------------------------------------------

@@ -16,9 +16,16 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.errors import NoSuchObjectError, TieraError
+from repro.core import api
+from repro.core.api import (
+    AdmissionController,
+    BatchOp,
+    BatchResult,
+    OpResult,
+)
+from repro.core.errors import TieraError
 from repro.core.server import TieraServer
 from repro.simcloud.resources import RequestContext
 
@@ -73,7 +80,12 @@ class ShardedTieraServer:
     keys whose ring owner changed are moved.
     """
 
-    def __init__(self, shards: Dict[str, TieraServer], vnodes: int = VNODES):
+    def __init__(
+        self,
+        shards: Dict[str, TieraServer],
+        vnodes: int = VNODES,
+        max_inflight: int = api.DEFAULT_MAX_INFLIGHT,
+    ):
         if not shards:
             raise ValueError("need at least one shard")
         self.ring = ConsistentHashRing(vnodes=vnodes)
@@ -81,21 +93,169 @@ class ShardedTieraServer:
         for name, server in shards.items():
             self.shards[name] = server
             self.ring.add(name)
+        self.clock = next(iter(self.shards.values())).clock
+        self.admission = AdmissionController(max_inflight)
         self.migrations = 0
 
     def _shard_for(self, key: str) -> TieraServer:
         return self.shards[self.ring.owner(key)]
 
-    # -- the PUT/GET API, routed -------------------------------------------
+    # -- the StorageAPI surface, routed -------------------------------------
 
-    def put(self, key: str, data: bytes, tags=(), ctx: Optional[RequestContext] = None):
-        return self._shard_for(key).put(key, data, tags=tags, ctx=ctx)
+    def put_object(
+        self,
+        key: str,
+        data: bytes,
+        *,
+        tags: Optional[List[str]] = None,
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
+    ) -> OpResult:
+        return self._shard_for(key).put_object(
+            key, data, tags=tags, ctx=ctx, trace=trace
+        )
 
-    def get(self, key: str, ctx: Optional[RequestContext] = None) -> bytes:
-        return self._shard_for(key).get(key, ctx=ctx)
+    def get_object(
+        self,
+        key: str,
+        *,
+        prefer: Optional[str] = None,
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
+    ) -> OpResult:
+        return self._shard_for(key).get_object(
+            key, prefer=prefer, ctx=ctx, trace=trace
+        )
 
-    def delete(self, key: str, ctx: Optional[RequestContext] = None):
-        return self._shard_for(key).delete(key, ctx=ctx)
+    def delete_object(
+        self,
+        key: str,
+        *,
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
+    ) -> OpResult:
+        return self._shard_for(key).delete_object(key, ctx=ctx, trace=trace)
+
+    def execute_batch(
+        self,
+        ops: Sequence[BatchOp],
+        *,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+        ctx: Optional[RequestContext] = None,
+    ) -> BatchResult:
+        """Fan a batch out to the shards that own its keys.
+
+        Ops group by ring owner (preserving submission indices), each
+        shard runs its sub-batch on its own branch of a scatter/join —
+        shards are independent instances, so the router pays the slowest
+        shard, not the sum — and results reassemble into submission
+        order.  Admission is enforced at the router on the whole batch
+        before any shard sees work.
+        """
+        ops = list(ops)
+        if parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        ctx = ctx if ctx is not None else RequestContext(self.clock)
+        self.admission.acquire(len(ops))
+        started = ctx.time
+        try:
+            groups: Dict[str, List[Tuple[int, BatchOp]]] = {}
+            for index, op in enumerate(ops):
+                groups.setdefault(self.ring.owner(op.key), []).append(
+                    (index, op)
+                )
+            results: List[Optional[OpResult]] = [None] * len(ops)
+            branches = ctx.scatter()
+            for shard_name in sorted(groups):
+                sub = groups[shard_name]
+                sub_result = self.shards[shard_name].execute_batch(
+                    [op for _, op in sub],
+                    parallelism=parallelism,
+                    ctx=branches.branch(),
+                )
+                for (index, _), item in zip(sub, sub_result.results):
+                    results[index] = item
+            branches.join()
+        finally:
+            self.admission.release(len(ops))
+        return BatchResult(
+            results=results,
+            latency=ctx.time - started,
+            parallelism=min(parallelism, max(1, len(ops))),
+        )
+
+    def put_many(
+        self,
+        items: Iterable[Tuple[str, bytes]],
+        *,
+        tags: Optional[List[str]] = None,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+        ctx: Optional[RequestContext] = None,
+    ) -> BatchResult:
+        return self.execute_batch(
+            api.batch_from_verbs(api.PUT, items, tags=tags),
+            parallelism=parallelism, ctx=ctx,
+        )
+
+    def get_many(
+        self,
+        keys: Iterable[str],
+        *,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+        ctx: Optional[RequestContext] = None,
+    ) -> BatchResult:
+        return self.execute_batch(
+            api.batch_from_verbs(api.GET, keys),
+            parallelism=parallelism, ctx=ctx,
+        )
+
+    def delete_many(
+        self,
+        keys: Iterable[str],
+        *,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+        ctx: Optional[RequestContext] = None,
+    ) -> BatchResult:
+        return self.execute_batch(
+            api.batch_from_verbs(api.DELETE, keys),
+            parallelism=parallelism, ctx=ctx,
+        )
+
+    # -- legacy verbs (deprecated; same shapes as TieraServer's shims) -------
+
+    def put(
+        self,
+        key: str,
+        data: bytes,
+        tags: Optional[Iterable[str]] = None,
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
+    ) -> RequestContext:
+        """Deprecated: use :meth:`put_object`.  Signature and return
+        shape now match :meth:`TieraServer.put` (this façade used to
+        take ``tags=()`` and lacked ``trace``)."""
+        return self._shard_for(key).put(
+            key, data, tags=tuple(tags) if tags else (), ctx=ctx, trace=trace
+        )
+
+    def get(
+        self,
+        key: str,
+        ctx: Optional[RequestContext] = None,
+        prefer: Optional[str] = None,
+        trace: bool = False,
+    ) -> bytes:
+        """Deprecated: use :meth:`get_object`."""
+        return self._shard_for(key).get(key, ctx=ctx, prefer=prefer, trace=trace)
+
+    def delete(
+        self,
+        key: str,
+        ctx: Optional[RequestContext] = None,
+        trace: bool = False,
+    ) -> RequestContext:
+        """Deprecated: use :meth:`delete_object`."""
+        return self._shard_for(key).delete(key, ctx=ctx, trace=trace)
 
     def contains(self, key: str) -> bool:
         return self._shard_for(key).contains(key)
@@ -139,11 +299,11 @@ class ShardedTieraServer:
         self.ring.remove(name)
         moved = 0
         for key in keys:
-            data = departing.get(key)
+            data = departing.get_object(key).raise_for_error().value
             meta = departing.stat(key)
             target = self.shards[self.ring.owner(key)]
-            target.put(key, data, tags=tuple(meta.tags))
-            departing.delete(key)
+            target.put_object(key, data, tags=sorted(meta.tags)).raise_for_error()
+            departing.delete_object(key).raise_for_error()
             moved += 1
         del self.shards[name]
         self.migrations += moved
@@ -156,13 +316,14 @@ class ShardedTieraServer:
             if new_owner == old_owner:
                 continue
             source = self.shards[old_owner]
-            try:
-                data = source.get(key)
-                meta = source.stat(key)
-            except NoSuchObjectError:
+            fetched = source.get_object(key)
+            if not fetched.ok:
                 continue
-            self.shards[new_owner].put(key, data, tags=tuple(meta.tags))
-            source.delete(key)
+            meta = source.stat(key)
+            self.shards[new_owner].put_object(
+                key, fetched.value, tags=sorted(meta.tags)
+            ).raise_for_error()
+            source.delete_object(key).raise_for_error()
             moved += 1
         self.migrations += moved
         return moved

@@ -1,12 +1,23 @@
-"""Blocking RPC client for a remote Tiera instance."""
+"""Blocking RPC client for a remote Tiera instance.
+
+Implements the same :class:`~repro.core.api.StorageAPI` surface as the
+in-process façades: envelope verbs (``put_object``/``get_object``/
+``delete_object``), batch verbs riding the ``batch`` wire method, and
+the legacy positional verbs as deprecation shims.  Captured failures
+carry an :class:`~repro.rpc.protocol.RpcError` (with the server's
+stable ``code``) as their exception, so ``raise_for_error`` behaves
+like the old raising client.
+"""
 
 from __future__ import annotations
 
 import itertools
 import socket
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core import api
+from repro.core.api import BatchOp, BatchResult, OpResult
 from repro.rpc.protocol import (
     RpcError,
     decode_bytes,
@@ -53,23 +64,109 @@ class TieraClient:
             raise RpcError("ProtocolError", "response id mismatch")
         if "error" in response:
             err = response["error"]
-            raise RpcError(err.get("type", "Error"), err.get("message", ""))
+            raise RpcError(
+                err.get("type", "Error"),
+                err.get("message", ""),
+                code=err.get("code", "INTERNAL"),
+            )
         return response.get("result")
 
-    # -- the PUT/GET API --------------------------------------------------
+    @staticmethod
+    def _from_wire(wire: Dict[str, Any]) -> OpResult:
+        """Decode an envelope, rehydrating failures as RpcErrors so
+        ``raise_for_error`` raises the same exception type the old
+        raising client did (with the stable ``code`` attached)."""
+        result = OpResult.from_wire(wire, decode_bytes)
+        if not result.ok:
+            result.exception = RpcError(
+                result.error_type or "Error",
+                result.error_message,
+                code=result.error or "INTERNAL",
+            )
+        return result
+
+    # -- the StorageAPI surface -------------------------------------------
+
+    def put_object(
+        self, key: str, data: bytes, *, tags: Optional[List[str]] = None
+    ) -> OpResult:
+        return self._from_wire(self._call(
+            "put_object",
+            key=key,
+            data=encode_bytes(data),
+            tags=list(tags) if tags else None,
+        ))
+
+    def get_object(
+        self, key: str, *, prefer: Optional[str] = None
+    ) -> OpResult:
+        return self._from_wire(
+            self._call("get_object", key=key, prefer=prefer)
+        )
+
+    def delete_object(self, key: str) -> OpResult:
+        return self._from_wire(self._call("delete_object", key=key))
+
+    def execute_batch(
+        self,
+        ops: Sequence[BatchOp],
+        *,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+    ) -> BatchResult:
+        """One round trip for the whole batch; the server overlaps the
+        items in virtual time.  Raises :class:`RpcError` with code
+        ``BACKPRESSURE`` when the server's admission control refuses."""
+        wire = self._call(
+            "batch",
+            ops=[op.to_wire(encode_bytes) for op in ops],
+            parallelism=parallelism,
+        )
+        return BatchResult(
+            results=[self._from_wire(w) for w in wire["results"]],
+            latency=wire["latency"],
+            parallelism=wire["parallelism"],
+        )
+
+    def put_many(
+        self,
+        items: Iterable[Tuple[str, bytes]],
+        *,
+        tags: Optional[List[str]] = None,
+        parallelism: int = api.DEFAULT_PARALLELISM,
+    ) -> BatchResult:
+        return self.execute_batch(
+            api.batch_from_verbs(api.PUT, items, tags=tags),
+            parallelism=parallelism,
+        )
+
+    def get_many(
+        self, keys: Iterable[str], *, parallelism: int = api.DEFAULT_PARALLELISM
+    ) -> BatchResult:
+        return self.execute_batch(
+            api.batch_from_verbs(api.GET, keys), parallelism=parallelism
+        )
+
+    def delete_many(
+        self, keys: Iterable[str], *, parallelism: int = api.DEFAULT_PARALLELISM
+    ) -> BatchResult:
+        return self.execute_batch(
+            api.batch_from_verbs(api.DELETE, keys), parallelism=parallelism
+        )
+
+    # -- legacy verbs (deprecated shims over the envelope API) ------------
 
     def put(self, key: str, data: bytes, tags: Optional[List[str]] = None) -> float:
-        """Store an object; returns the server-side latency in seconds."""
-        result = self._call(
-            "put", key=key, data=encode_bytes(data), tags=list(tags or [])
-        )
-        return result["latency"]
+        """Deprecated: use :meth:`put_object`.  Returns the server-side
+        latency in seconds, raising :class:`RpcError` on failure."""
+        return self.put_object(key, data, tags=tags).raise_for_error().latency
 
     def get(self, key: str) -> bytes:
-        return decode_bytes(self._call("get", key=key)["data"])
+        """Deprecated: use :meth:`get_object`."""
+        return self.get_object(key).raise_for_error().value
 
     def delete(self, key: str) -> float:
-        return self._call("delete", key=key)["latency"]
+        """Deprecated: use :meth:`delete_object`."""
+        return self.delete_object(key).raise_for_error().latency
 
     def contains(self, key: str) -> bool:
         return self._call("contains", key=key)

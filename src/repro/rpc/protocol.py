@@ -2,8 +2,12 @@
 
 Requests look like ``{"id": 7, "method": "put", "params": {...}}``;
 responses are ``{"id": 7, "result": ...}`` or ``{"id": 7, "error":
-{"type": "...", "message": "..."}}``.  Object payloads are base64
-strings (JSON cannot carry raw bytes).
+{"code": "...", "type": "...", "message": "..."}}``.  Object payloads
+are base64 strings (JSON cannot carry raw bytes).
+
+``code`` is the stable error taxonomy from :mod:`repro.core.errors` —
+clients branch on it, never on ``type`` (an exception class name kept
+for messages and backwards compatibility) or message text.
 """
 
 from __future__ import annotations
@@ -19,10 +23,17 @@ _LEN = struct.Struct(">I")
 
 
 class RpcError(Exception):
-    """An error returned by the remote server."""
+    """An error returned by the remote server.
 
-    def __init__(self, error_type: str, message: str):
+    ``code`` is the stable error code (``NO_SUCH_OBJECT``,
+    ``BACKPRESSURE``, …); ``error_type`` is the server-side exception
+    class name, kept for human-readable messages.
+    """
+
+    def __init__(self, error_type: str, message: str, code: str = "INTERNAL"):
         self.error_type = error_type
+        self.message = message
+        self.code = code or "INTERNAL"
         super().__init__(f"{error_type}: {message}")
 
 

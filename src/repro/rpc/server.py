@@ -13,7 +13,14 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional
 
-from repro.core.errors import TieraError
+from repro.core import api
+from repro.core.api import BatchOp
+from repro.core.errors import (
+    BAD_REQUEST,
+    TieraError,
+    UNKNOWN_METHOD,
+    code_for,
+)
 from repro.core.server import TieraServer
 from repro.rpc.protocol import decode_bytes, encode_bytes, read_frame, write_frame
 from repro.simcloud.errors import SimCloudError
@@ -99,35 +106,75 @@ class TieraRpcServer:
         params = request.get("params") or {}
         handler = getattr(self, f"_method_{method_name}", None)
         if handler is None:
-            return _error(request_id, "UnknownMethod", method_name)
+            return _error(request_id, "UnknownMethod", method_name, UNKNOWN_METHOD)
         try:
             # The instance's data structures are not thread-safe; one
             # operation at a time, like a single control-layer worker.
             with self._op_lock:
                 result = handler(params)
         except (TieraError, SimCloudError) as exc:
-            return _error(request_id, type(exc).__name__, str(exc))
+            return _error(request_id, type(exc).__name__, str(exc), code_for(exc))
         except (KeyError, ValueError, TypeError) as exc:
-            return _error(request_id, "BadRequest", str(exc))
+            return _error(request_id, "BadRequest", str(exc), BAD_REQUEST)
         return {"id": request_id, "result": result}
 
     # -- methods ------------------------------------------------------------------
 
-    def _method_put(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        ctx = self.tiera.put(
+    def _method_put_object(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        tags = params.get("tags")
+        result = self.tiera.put_object(
             params["key"],
             decode_bytes(params["data"]),
-            tags=params.get("tags", ()),
+            tags=list(tags) if tags else None,
         )
-        return {"latency": ctx.elapsed}
+        return result.to_wire(encode_bytes)
+
+    def _method_get_object(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        result = self.tiera.get_object(
+            params["key"], prefer=params.get("prefer")
+        )
+        return result.to_wire(encode_bytes)
+
+    def _method_delete_object(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return self.tiera.delete_object(params["key"]).to_wire(encode_bytes)
+
+    def _method_batch(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Run a batch of ops, overlapped server-side in virtual time.
+
+        Item failures come back inside their envelopes (never as an RPC
+        error); an over-limit batch raises backpressure out of
+        ``execute_batch``, which :meth:`_handle` maps to the
+        ``BACKPRESSURE`` error code.
+        """
+        ops = [BatchOp.from_wire(wire, decode_bytes) for wire in params["ops"]]
+        batch = self.tiera.execute_batch(
+            ops,
+            parallelism=int(params.get("parallelism", api.DEFAULT_PARALLELISM)),
+        )
+        return {
+            "results": [r.to_wire(encode_bytes) for r in batch.results],
+            "latency": batch.latency,
+            "parallelism": batch.parallelism,
+            "code": batch.code,
+        }
+
+    # -- legacy single-op wire methods (kept for protocol compatibility) ----
+
+    def _method_put(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        result = self.tiera.put_object(
+            params["key"],
+            decode_bytes(params["data"]),
+            tags=list(params.get("tags") or []) or None,
+        ).raise_for_error()
+        return {"latency": result.latency}
 
     def _method_get(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        data = self.tiera.get(params["key"])
-        return {"data": encode_bytes(data)}
+        result = self.tiera.get_object(params["key"]).raise_for_error()
+        return {"data": encode_bytes(result.value)}
 
     def _method_delete(self, params: Dict[str, Any]) -> Dict[str, Any]:
-        ctx = self.tiera.delete(params["key"])
-        return {"latency": ctx.elapsed}
+        result = self.tiera.delete_object(params["key"]).raise_for_error()
+        return {"latency": result.latency}
 
     def _method_contains(self, params: Dict[str, Any]) -> bool:
         return self.tiera.contains(params["key"])
@@ -243,5 +290,10 @@ class TieraRpcServer:
         ]
 
 
-def _error(request_id, error_type: str, message: str) -> Dict[str, Any]:
-    return {"id": request_id, "error": {"type": error_type, "message": message}}
+def _error(
+    request_id, error_type: str, message: str, code: str
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "error": {"code": code, "type": error_type, "message": message},
+    }

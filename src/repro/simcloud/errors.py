@@ -6,6 +6,9 @@ from __future__ import annotations
 class SimCloudError(Exception):
     """Base class for simulated-cloud failures."""
 
+    #: Stable machine-readable error code (see repro.core.errors).
+    code = "INTERNAL"
+
 
 class ServiceUnavailableError(SimCloudError):
     """The service (or the node hosting it) has failed or timed out.
@@ -16,6 +19,8 @@ class ServiceUnavailableError(SimCloudError):
     the failure is, so failover decisions and audit records can tell a
     dead node (or a whole dead zone) from a dead service.
     """
+
+    code = "SERVICE_UNAVAILABLE"
 
     def __init__(
         self,
@@ -41,9 +46,13 @@ class TransientServiceError(ServiceUnavailableError):
     the virtual timeline); a plain :class:`ServiceUnavailableError`
     (the full-timeout path) is not worth retrying against."""
 
+    code = "TRANSIENT_ERROR"
+
 
 class CapacityExceededError(SimCloudError):
     """A put would exceed the service's provisioned capacity."""
+
+    code = "CAPACITY_EXCEEDED"
 
     def __init__(self, service: str, needed: int, available: int):
         self.service = service
@@ -76,6 +85,8 @@ class ProcessCrash(BaseException):
 
 class NoSuchKeyError(SimCloudError, KeyError):
     """GET/DELETE of a key the service does not hold."""
+
+    code = "NO_SUCH_KEY"
 
     def __init__(self, service: str, key: str):
         self.service = service

@@ -138,7 +138,8 @@ class RequestContext:
     the client-observed latency.
     """
 
-    __slots__ = ("clock", "start", "time", "hops", "span", "trace")
+    __slots__ = ("clock", "start", "time", "hops", "span", "trace",
+                 "served_by")
 
     def __init__(self, clock: Clock, at: Optional[float] = None):
         self.clock = clock
@@ -151,6 +152,8 @@ class RequestContext:
         self.span = None
         #: root span of the traced request this context belongs to.
         self.trace = None
+        #: name of the tier that served the most recent read, if any.
+        self.served_by: Optional[str] = None
 
     def use(self, resource: Resource, service_time: float) -> None:
         """Queue on ``resource`` for ``service_time`` seconds of work."""
@@ -175,6 +178,73 @@ class RequestContext:
         """
         return RequestContext(self.clock, at=self.time)
 
+    def scatter(self) -> "BranchSet":
+        """Open a scatter/join region at the current instant.
+
+        Independent pieces of work within *one* request (a multi-tier
+        store's inserts, failover read attempts, the items of a batch)
+        do not wait on each other in a real system; they overlap.  Each
+        :meth:`BranchSet.branch` starts a branch context at this
+        context's current time; :meth:`BranchSet.join` advances this
+        context to the *latest* branch completion.  The request thus
+        pays ``max()`` over branch latencies — plus whatever queueing
+        each branch suffered on its tier's channels, since branches book
+        the same :class:`Resource` banks and contend normally.
+
+        Unlike :meth:`fork`, branches stay on the client path: they
+        inherit the current trace span, and their hops count toward the
+        request.
+        """
+        return BranchSet(self)
+
     @property
     def elapsed(self) -> float:
         return self.time - self.start
+
+
+class BranchSet:
+    """Parallel composition of branches of one request (scatter/join).
+
+    Branch *state* effects still happen in code order — the simulation
+    executes branches sequentially, so RNG draws, tier contents, and
+    digests are identical to a serial implementation.  Only the time
+    accounting changes: the parent's clock advances to the maximum
+    branch completion instead of accumulating each branch in turn.
+    """
+
+    __slots__ = ("parent", "origin", "branches")
+
+    def __init__(self, parent: RequestContext):
+        self.parent = parent
+        self.origin = parent.time
+        self.branches: List[RequestContext] = []
+
+    def branch(self, at: Optional[float] = None) -> RequestContext:
+        """A context starting at the scatter instant, on the client path.
+
+        ``at`` starts the branch later than the scatter instant — how a
+        bounded lane pool models an item queueing behind the previous
+        item on its lane (batch execution with ``parallelism`` lanes).
+        """
+        start = self.origin if at is None else max(at, self.origin)
+        ctx = RequestContext(self.parent.clock, at=start)
+        ctx.span = self.parent.span
+        ctx.trace = self.parent.trace
+        self.branches.append(ctx)
+        return ctx
+
+    def join(self) -> float:
+        """Advance the parent to the latest branch completion.
+
+        Failed branches count: a branch that burned a 5 s timeout before
+        raising still holds the join back, exactly as an in-flight
+        parallel attempt would.  Returns the new parent time.
+        """
+        latest = self.origin
+        for ctx in self.branches:
+            if ctx.time > latest:
+                latest = ctx.time
+            self.parent.hops += ctx.hops
+        if latest > self.parent.time:
+            self.parent.time = latest
+        return self.parent.time

@@ -15,8 +15,9 @@ and compare latency/cost.
 from __future__ import annotations
 
 import json
-from typing import List, Optional
+from typing import List
 
+from repro.core.api import BatchOp
 from repro.core.errors import NoSuchObjectError
 from repro.core.server import TieraServer
 from repro.simcloud.resources import RequestContext
@@ -99,15 +100,20 @@ class TraceReplayer:
 
     ``paced=True`` honours the recorded inter-arrival times (open-loop:
     each op is issued at its recorded offset); ``paced=False`` issues
-    ops back-to-back (closed-loop, one at a time).  Returns per-op
-    latencies so candidate instances can be compared.
+    ops back-to-back (closed-loop, one at a time).  ``depth`` pipelines
+    the replay: events go through ``execute_batch`` in chunks of
+    ``depth``, overlapping in virtual time (a paced chunk issues at its
+    first event's offset).  Returns per-op latencies so candidate
+    instances can be compared.
     """
 
     def __init__(self, server: TieraServer, events: List[dict]):
         self.server = server
         self.events = events
 
-    def run(self, paced: bool = True) -> List[float]:
+    def run(self, paced: bool = True, depth: int = 1) -> List[float]:
+        if depth < 1:
+            raise ValueError("depth must be at least 1")
         if not self.events:
             return []
         clock = self.server.clock
@@ -115,36 +121,55 @@ class TraceReplayer:
         first_at = self.events[0].get("at", 0.0)
         latencies: List[float] = []
         cursor = base
-        for event in self.events:
+        for start in range(0, len(self.events), depth):
+            chunk = self.events[start:start + depth]
             if paced:
-                issue_at = base + max(0.0, event.get("at", 0.0) - first_at)
+                issue_at = base + max(0.0, chunk[0].get("at", 0.0) - first_at)
             else:
                 issue_at = cursor
             if issue_at > clock.now():
                 clock.run_until(issue_at)
             ctx = RequestContext(clock, at=issue_at)
-            self._apply(event, ctx)
-            latencies.append(ctx.elapsed)
+            if depth == 1:
+                self._apply(chunk[0], ctx)
+                latencies.append(ctx.elapsed)
+            else:
+                batch = self.server.execute_batch(
+                    [self._op_for(event) for event in chunk],
+                    parallelism=depth,
+                    ctx=ctx,
+                )
+                for item in batch.results:
+                    if not item.ok and item.error != NoSuchObjectError.code:
+                        item.raise_for_error()
+                    latencies.append(item.latency)
             cursor = ctx.time
         if clock.now() < cursor:
             clock.run_until(cursor)
         return latencies
 
-    def _apply(self, event: dict, ctx: RequestContext) -> None:
+    @staticmethod
+    def _op_for(event: dict) -> BatchOp:
         op = event["op"]
         key = event["key"]
         if op == "put":
             payload = record_payload(hash(key) & 0xFFFF, 0, event.get("size", 4096))
-            self.server.put(key, payload, ctx=ctx)
-        elif op == "get":
-            try:
-                self.server.get(key, ctx=ctx)
-            except NoSuchObjectError:
-                pass  # trace replayed against a store missing the key
-        elif op == "delete":
-            try:
-                self.server.delete(key, ctx=ctx)
-            except NoSuchObjectError:
-                pass
+            return BatchOp.put(key, payload)
+        if op == "get":
+            return BatchOp.get(key)
+        if op == "delete":
+            return BatchOp.delete(key)
+        raise ValueError(f"unknown trace op {op!r}")
+
+    def _apply(self, event: dict, ctx: RequestContext) -> None:
+        op = self._op_for(event)
+        if op.op == "put":
+            self.server.put_object(op.key, op.data, ctx=ctx).raise_for_error()
+            return
+        if op.op == "get":
+            result = self.server.get_object(op.key, ctx=ctx)
         else:
-            raise ValueError(f"unknown trace op {op!r}")
+            result = self.server.delete_object(op.key, ctx=ctx)
+        if not result.ok and result.error != NoSuchObjectError.code:
+            # trace replayed against a store missing the key is fine
+            result.raise_for_error()

@@ -10,8 +10,9 @@ closed-loop op function for :func:`~repro.bench.runner.run_closed_loop`.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import List, Optional, Tuple
 
+from repro.core.api import BatchOp
 from repro.core.server import TieraServer
 from repro.simcloud.resources import RequestContext
 from repro.workloads.distributions import UniformKeys, ZipfianKeys
@@ -75,34 +76,48 @@ class YcsbWorkload:
     def load(self, ctx: Optional[RequestContext] = None) -> None:
         """The YCSB load phase: insert every record once."""
         for key in range(self.record_count):
-            self.server.put(
+            self.server.put_object(
                 self.key_name(key),
                 record_payload(key, 0, self.record_size),
                 ctx=ctx,
-            )
+            ).raise_for_error()
 
-    def __call__(self, client: int, ctx: RequestContext) -> str:
+    def next_op(self) -> Tuple[BatchOp, str]:
+        """Draw the next operation from the mix, without executing it.
+
+        The serial driver (:meth:`__call__`) and the pipelined driver
+        (:meth:`batch`) both consume this stream, so for a given seed
+        the operation sequence — keys, versions, payload bytes — is
+        identical regardless of batch depth.
+        """
         choice = self.rng.random()
         if choice < self.read_proportion:
             key = self.keys.next()
-            self.server.get(self.key_name(key), ctx=ctx)
-            return "read"
+            return BatchOp.get(self.key_name(key)), "read"
         if choice < self.read_proportion + self.update_proportion:
             key = self.keys.next()
             version = self._versions.get(key, 0) + 1
             self._versions[key] = version
-            self.server.put(
-                self.key_name(key),
-                record_payload(key, version, self.record_size),
-                ctx=ctx,
-            )
-            return "write"
+            payload = record_payload(key, version, self.record_size)
+            return BatchOp.put(self.key_name(key), payload), "write"
         key = self._insert_cursor
         self._insert_cursor += 1
-        self.server.put(
-            self.key_name(key), record_payload(key, 0, self.record_size), ctx=ctx
-        )
-        return "insert"
+        payload = record_payload(key, 0, self.record_size)
+        return BatchOp.put(self.key_name(key), payload), "insert"
+
+    def batch(self, count: int) -> List[BatchOp]:
+        """The next ``count`` operations as a batch for ``execute_batch``."""
+        return [self.next_op()[0] for _ in range(count)]
+
+    def __call__(self, client: int, ctx: RequestContext) -> str:
+        op, label = self.next_op()
+        if op.op == "put":
+            self.server.put_object(
+                op.key, op.data, tags=op.tags, ctx=ctx
+            ).raise_for_error()
+        else:
+            self.server.get_object(op.key, ctx=ctx).raise_for_error()
+        return label
 
 
 def read_only(server: TieraServer, records: int, distribution: str,

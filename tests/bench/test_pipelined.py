@@ -1,0 +1,79 @@
+"""The pipelined (batched) load driver."""
+
+import pytest
+
+from repro.bench.runner import run_pipelined
+from repro.core.api import BatchOp
+from repro.core.server import TieraServer
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.resources import RequestContext
+from repro.tiers.registry import TierRegistry
+from repro.workloads.ycsb import mixed_50_50
+from tests.core.conftest import build_instance
+
+BIG = 256 * 1024 * 1024
+
+
+def _stack(seed=21):
+    cluster = Cluster(seed=seed)
+    registry = TierRegistry(cluster)
+    instance = build_instance(
+        registry,
+        [("tier1", "Memcached", BIG), ("tier2", "EBS", BIG)],
+    )
+    server = TieraServer(instance)
+    workload = mixed_50_50(server, 30, seed=3)
+    ctx = RequestContext(cluster.clock)
+    workload.load(ctx=ctx)
+    cluster.clock.run_until(ctx.time)
+    return cluster, server, workload
+
+
+class TestRunPipelined:
+    def test_counts_latencies_and_duration(self):
+        cluster, server, workload = _stack()
+        result = run_pipelined(cluster.clock, server, workload, 40, depth=4)
+        assert result.operations == 40
+        assert result.errors == 0
+        assert result.duration > 0
+        assert result.throughput > 0
+        assert result.latencies.count == 40
+
+    def test_deeper_pipeline_yields_higher_throughput(self):
+        rates = {}
+        for depth in (1, 8):
+            cluster, server, workload = _stack()
+            rates[depth] = run_pipelined(
+                cluster.clock, server, workload, 64, depth=depth
+            ).throughput
+        assert rates[8] > rates[1]
+
+    def test_callable_op_source(self):
+        cluster, server, _ = _stack()
+        counter = iter(range(10 ** 6))
+
+        def take(count):
+            return [
+                BatchOp.put(f"cb{next(counter)}", b"x" * 64)
+                for _ in range(count)
+            ]
+
+        result = run_pipelined(cluster.clock, server, take, 10, depth=3)
+        assert result.operations == 10
+
+    def test_item_failures_count_as_errors(self):
+        cluster, server, _ = _stack()
+
+        def take(count):
+            return [BatchOp.get(f"ghost{i}") for i in range(count)]
+
+        result = run_pipelined(cluster.clock, server, take, 6, depth=3)
+        assert result.operations == 0
+        assert result.errors == 6
+
+    def test_validation(self):
+        cluster, server, workload = _stack()
+        with pytest.raises(ValueError):
+            run_pipelined(cluster.clock, server, workload, 0)
+        with pytest.raises(ValueError):
+            run_pipelined(cluster.clock, server, workload, 5, depth=0)

@@ -1,0 +1,228 @@
+"""StorageAPI parity: direct, sharded, and RPC façades must agree.
+
+The same op script runs against a :class:`TieraServer`, a single-shard
+:class:`ShardedTieraServer`, and a :class:`TieraClient` talking to a
+:class:`TieraRpcServer` — each over its own fresh same-seed simulated
+stack, so every envelope (including virtual-time latencies) must come
+back identical.  ``OpResult.exception`` is excluded from equality, so a
+captured in-process exception and its RPC-rehydrated twin compare equal.
+"""
+
+import pytest
+
+from repro.core.api import BatchOp, BatchResult, StorageAPI
+from repro.core.errors import BackpressureError, NoSuchObjectError
+from repro.core.events import ActionEvent
+from repro.core.policy import Rule
+from repro.core.responses import Store
+from repro.core.selectors import InsertObject
+from repro.core.server import TieraServer
+from repro.core.sharding import ShardedTieraServer
+from repro.rpc import RpcError, TieraClient, TieraRpcServer
+from repro.simcloud.cluster import Cluster
+from repro.tiers.registry import TierRegistry
+from tests.core.conftest import build_instance
+
+SEED = 5
+BIG = 64 * 1024 * 1024
+
+
+def fresh_server(max_inflight=128) -> TieraServer:
+    cluster = Cluster(seed=SEED)
+    registry = TierRegistry(cluster)
+    instance = build_instance(
+        registry,
+        [("tier1", "Memcached", BIG), ("tier2", "EBS", BIG)],
+        rules=[Rule(
+            ActionEvent("insert"),
+            [Store(InsertObject(), ("tier1", "tier2"))],
+            name="write-through",
+        )],
+        name="parity",
+    )
+    return TieraServer(instance, max_inflight=max_inflight)
+
+
+@pytest.fixture
+def direct() -> TieraServer:
+    return fresh_server()
+
+
+@pytest.fixture
+def sharded() -> ShardedTieraServer:
+    return ShardedTieraServer({"s1": fresh_server()})
+
+
+@pytest.fixture
+def rpc_client():
+    rpc = TieraRpcServer(fresh_server(), port=0).start()
+    client = TieraClient(rpc.host, rpc.port)
+    yield client
+    client.close()
+    rpc.stop()
+
+
+def run_script(facade):
+    """The shared op script: single ops, errors, and mixed batches."""
+    out = []
+    out.append(facade.put_object("alpha", b"a" * 512))
+    out.append(facade.put_object("tagged", b"t" * 256, tags=["hot", "backup"]))
+    out.append(facade.get_object("alpha"))
+    out.append(facade.get_object("ghost"))          # NO_SUCH_OBJECT
+    out.append(facade.delete_object("tagged"))
+    out.append(facade.delete_object("ghost"))       # NO_SUCH_OBJECT
+    out.append(facade.put_many(
+        [(f"bulk{i}", bytes([65 + i]) * 128) for i in range(6)],
+        parallelism=3,
+    ))
+    out.append(facade.get_many(["bulk0", "bulk3", "missing"], parallelism=2))
+    out.append(facade.execute_batch(
+        [
+            BatchOp.put("mix", b"m" * 64),
+            BatchOp.get("bulk1"),
+            BatchOp.delete("bulk2"),
+            BatchOp.get("nope"),
+        ],
+        parallelism=4,
+    ))
+    return out
+
+
+def flatten(outcomes):
+    """Batches → comparable tuples + their item envelopes."""
+    flat = []
+    for item in outcomes:
+        if isinstance(item, BatchResult):
+            flat.append(("batch", item.latency, item.parallelism, item.code))
+            flat.extend(item.results)
+        else:
+            flat.append(item)
+    return flat
+
+
+class TestParity:
+    def test_all_facades_satisfy_the_protocol(self, direct, sharded, rpc_client):
+        for facade in (direct, sharded, rpc_client):
+            assert isinstance(facade, StorageAPI)
+
+    def test_direct_and_sharded_agree(self, direct, sharded):
+        assert flatten(run_script(direct)) == flatten(run_script(sharded))
+
+    def test_direct_and_rpc_agree(self, direct, rpc_client):
+        assert flatten(run_script(direct)) == flatten(run_script(rpc_client))
+
+    def test_missing_key_code_parity(self, direct, sharded, rpc_client):
+        codes = set()
+        types = set()
+        for facade in (direct, sharded, rpc_client):
+            result = facade.get_object("nope")
+            assert not result.ok
+            codes.add(result.error)
+            types.add(result.error_type)
+        assert codes == {"NO_SUCH_OBJECT"}
+        assert types == {"NoSuchObjectError"}
+
+    def test_batch_partial_failure_code_parity(self, direct, sharded, rpc_client):
+        for facade in (direct, sharded, rpc_client):
+            facade.put_object("real", b"v")
+            batch = facade.get_many(["real", "fake"])
+            assert batch.code == "PARTIAL_FAILURE"
+            assert [r.ok for r in batch.results] == [True, False]
+
+    def test_raise_for_error_raises_per_facade_exception(
+        self, direct, sharded, rpc_client
+    ):
+        for facade, exc_type in (
+            (direct, NoSuchObjectError),
+            (sharded, NoSuchObjectError),
+            (rpc_client, RpcError),
+        ):
+            with pytest.raises(exc_type) as err:
+                facade.get_object("nope").raise_for_error()
+            assert getattr(err.value, "code") == "NO_SUCH_OBJECT"
+
+
+class TestBackpressureParity:
+    def test_all_facades_refuse_with_the_same_code(self):
+        items = [(f"k{i}", b"v") for i in range(5)]
+        codes = []
+
+        direct = fresh_server(max_inflight=4)
+        with pytest.raises(BackpressureError) as err:
+            direct.put_many(items)
+        codes.append(err.value.code)
+
+        sharded = ShardedTieraServer({"s1": fresh_server()}, max_inflight=4)
+        with pytest.raises(BackpressureError) as err:
+            sharded.put_many(items)
+        codes.append(err.value.code)
+
+        rpc = TieraRpcServer(fresh_server(max_inflight=4), port=0).start()
+        try:
+            with TieraClient(rpc.host, rpc.port) as client:
+                with pytest.raises(RpcError) as err:
+                    client.put_many(items)
+                codes.append(err.value.code)
+        finally:
+            rpc.stop()
+
+        assert codes == ["BACKPRESSURE"] * 3
+
+
+class TestLegacyShimParity:
+    """The deprecated verbs keep their original shapes on every façade."""
+
+    def test_put_returns_context_in_process(self, direct, sharded):
+        for facade in (direct, sharded):
+            ctx = facade.put("k", b"v")
+            assert ctx.elapsed > 0
+
+    def test_client_put_returns_latency_float(self, rpc_client):
+        latency = rpc_client.put("k", b"v")
+        assert isinstance(latency, float) and latency > 0
+        assert rpc_client.get("k") == b"v"
+
+    def test_get_missing_raises_like_before(self, direct, sharded, rpc_client):
+        for facade, exc_type in (
+            (direct, NoSuchObjectError),
+            (sharded, NoSuchObjectError),
+            (rpc_client, RpcError),
+        ):
+            with pytest.raises(exc_type):
+                facade.get("ghost")
+
+    def test_shims_warn(self, direct):
+        with pytest.warns(DeprecationWarning):
+            direct.put("k", b"v")
+        with pytest.warns(DeprecationWarning):
+            direct.get("k")
+        with pytest.warns(DeprecationWarning):
+            direct.delete("k")
+
+
+class TestShardRouterTagPropagation:
+    """Regression: the router's put used to take ``tags=()`` while
+    TieraServer.put took an iterable default — tags silently diverged
+    depending on which façade a caller held."""
+
+    def test_legacy_put_propagates_tags(self, sharded):
+        sharded.put("k", b"v", tags=("hot", "pinned"))
+        assert sharded.stat("k").tags == {"hot", "pinned"}
+
+    def test_envelope_put_propagates_tags(self, sharded):
+        sharded.put_object("k2", b"v", tags=["cold"])
+        assert sharded.stat("k2").tags == {"cold"}
+
+    def test_batch_put_propagates_tags_through_router(self, sharded):
+        batch = sharded.execute_batch(
+            [BatchOp.put("k3", b"v", tags=["bulk", "hot"])]
+        )
+        assert batch.ok
+        assert sharded.stat("k3").tags == {"bulk", "hot"}
+
+    def test_signatures_match_across_facades(self, direct, sharded):
+        """Same call shape works identically on both in-process façades."""
+        for facade in (direct, sharded):
+            ctx = facade.put("sig", b"v", ("a",))
+            assert ctx.elapsed > 0
+            assert facade.stat("sig").tags == {"a"}

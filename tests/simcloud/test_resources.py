@@ -134,3 +134,85 @@ class TestRequestContext:
         second = RequestContext(clock)
         second.use(res, 1.0)
         assert second.elapsed == pytest.approx(11.0)
+
+
+class TestScatterJoin:
+    def test_join_advances_parent_to_slowest_branch(self):
+        ctx = RequestContext(SimClock())
+        ctx.wait(1.0)
+        branches = ctx.scatter()
+        branches.branch().wait(5.0)
+        branches.branch().wait(2.0)
+        branches.join()
+        assert ctx.time == pytest.approx(6.0)  # 1 + max(5, 2)
+
+    def test_branches_start_at_scatter_origin(self):
+        ctx = RequestContext(SimClock())
+        ctx.wait(3.0)
+        branches = ctx.scatter()
+        a = branches.branch()
+        a.wait(10.0)
+        b = branches.branch()
+        assert b.start == 3.0  # unaffected by sibling a
+
+    def test_branch_at_schedules_a_later_lane(self):
+        ctx = RequestContext(SimClock())
+        ctx.wait(2.0)
+        branches = ctx.scatter()
+        late = branches.branch(at=5.0)
+        assert late.start == 5.0
+        clamped = branches.branch(at=0.5)  # cannot start before the origin
+        assert clamped.start == 2.0
+
+    def test_join_without_branches_is_a_noop(self):
+        ctx = RequestContext(SimClock())
+        ctx.wait(4.0)
+        assert ctx.scatter().join() == pytest.approx(4.0)
+        assert ctx.time == pytest.approx(4.0)
+
+    def test_join_never_moves_parent_backwards(self):
+        ctx = RequestContext(SimClock())
+        ctx.wait(10.0)
+        branches = ctx.scatter()
+        branches.branch().wait(1.0)  # finishes at 11 — but scatter...
+        ctx.wait(5.0)                # ...parent moved on to 15 meanwhile
+        branches.join()
+        assert ctx.time == pytest.approx(15.0)
+
+    def test_join_accumulates_branch_hops(self):
+        clock = SimClock()
+        res = Resource("r", channels=4)
+        ctx = RequestContext(clock)
+        branches = ctx.scatter()
+        for _ in range(3):
+            branches.branch().use(res, 1.0)
+        branches.join()
+        assert ctx.hops == 3
+
+    def test_branches_contend_on_shared_channels(self):
+        """Two branches on a single-channel resource serialize: the join
+        sees the queueing term, not a free overlap."""
+        clock = SimClock()
+        res = Resource("r", channels=1)
+        ctx = RequestContext(clock)
+        branches = ctx.scatter()
+        branches.branch().use(res, 2.0)
+        branches.branch().use(res, 2.0)
+        branches.join()
+        assert ctx.time == pytest.approx(4.0)
+
+    def test_branches_overlap_on_parallel_channels(self):
+        clock = SimClock()
+        res = Resource("r", channels=2)
+        ctx = RequestContext(clock)
+        branches = ctx.scatter()
+        branches.branch().use(res, 2.0)
+        branches.branch().use(res, 2.0)
+        branches.join()
+        assert ctx.time == pytest.approx(2.0)
+
+    def test_branches_inherit_trace_span(self):
+        ctx = RequestContext(SimClock())
+        ctx.span = object()
+        branches = ctx.scatter()
+        assert branches.branch().span is ctx.span

@@ -104,3 +104,47 @@ class TestReplayer:
         )
         fast_latency = sum(TraceReplayer(fast, events).run(paced=False))
         assert fast_latency > 0
+
+
+class TestPipelinedReplay:
+    def _target(self, seed=9):
+        cluster = Cluster(seed=seed)
+        server = TieraServer(
+            memcached_ebs_instance(TierRegistry(cluster), mem="8M", ebs="8M")
+        )
+        return cluster, server
+
+    def _events(self, count=12):
+        return [
+            {"op": "put", "key": f"k{i}", "size": 64, "at": 0.0}
+            for i in range(count)
+        ] + [
+            {"op": "get", "key": f"k{i}", "at": 0.0} for i in range(count)
+        ]
+
+    def test_depth_covers_every_event(self):
+        _, target = self._target()
+        latencies = TraceReplayer(target, self._events()).run(
+            paced=False, depth=5
+        )
+        assert len(latencies) == 24
+        assert target.contains("k0") and target.contains("k11")
+
+    def test_deeper_replay_finishes_sooner(self):
+        spans = {}
+        for depth in (1, 4):
+            cluster, target = self._target()
+            TraceReplayer(target, self._events()).run(paced=False, depth=depth)
+            spans[depth] = cluster.clock.now()
+        assert spans[4] < spans[1]
+
+    def test_depth_tolerates_missing_keys(self):
+        _, target = self._target()
+        events = [{"op": "get", "key": "ghost", "at": 0.0},
+                  {"op": "delete", "key": "ghost", "at": 0.0}]
+        assert len(TraceReplayer(target, events).run(depth=2)) == 2
+
+    def test_invalid_depth_rejected(self):
+        _, target = self._target()
+        with pytest.raises(ValueError):
+            TraceReplayer(target, self._events()).run(depth=0)

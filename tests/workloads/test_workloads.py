@@ -85,6 +85,25 @@ class TestYcsb:
             YcsbWorkload(server, 10, distribution="pareto")
 
 
+class TestYcsbBatching:
+    def test_batch_stream_matches_serial_stream(self, server):
+        """Same seed → same op sequence, however it is chunked."""
+        serial_src = mixed_50_50(server, 50, seed=3)
+        batch_src = mixed_50_50(server, 50, seed=3)
+        serial = [serial_src.next_op()[0] for _ in range(20)]
+        batched = batch_src.batch(7) + batch_src.batch(7) + batch_src.batch(6)
+        assert [(op.op, op.key, op.data) for op in serial] == [
+            (op.op, op.key, op.data) for op in batched
+        ]
+
+    def test_batch_ops_execute_against_server(self, server, cluster):
+        workload = mixed_50_50(server, 10, seed=3)
+        workload.load(ctx=fresh_ctx(cluster))
+        batch = server.execute_batch(workload.batch(8), parallelism=4)
+        assert batch.ok
+        assert len(batch) == 8
+
+
 class TestSysbench:
     def test_load_and_readonly_txn(self, registry, cluster):
         instance = build_instance(
