@@ -156,6 +156,14 @@ def run_chaos(
     server = TieraServer(instance)
     if resilient:
         instance.enable_resilience()
+    # Canned objectives watch the whole run: injected faults burn error
+    # budget, and the breaches land in health(), the audit log, and the
+    # report's "slo" section — all on the virtual clock, so same-seed
+    # runs breach (and recover) identically.
+    from repro.obs.slo import default_slos
+
+    obs = instance.obs
+    obs.slo.install(default_slos())
 
     # Load phase: populate before any fault is active.
     load_ctx = RequestContext(cluster.clock)
@@ -229,6 +237,11 @@ def run_chaos(
         "errors_by_type": dict(sorted(stats.errors_by_type.items())),
         "faults": cluster.faults.report(),
         "state_digest": instance.state_digest(),
+        "slo": {
+            "summary": obs.slo.summary(cluster.clock.now()),
+            "transitions": list(obs.slo.transitions),
+            "health_status": server.health()["status"],
+        },
     }
     if resilient:
         report["resilience"] = instance.resilience.summary()

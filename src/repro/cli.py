@@ -24,6 +24,16 @@ Commands mirror how the paper's prototype is operated:
   scripted workload at every registered crash point, reopen, verify
   recovery invariants, print the JSON report (byte-identical across
   same-seed runs; the CI crash-matrix job diffs two runs).
+* ``profile [--scenario S] [--cprofile] [--format text|json]`` — run a
+  telemetry scenario under the scoped profiler and print the combined
+  wall-clock / virtual-time breakdown; with ``--port`` it fetches a
+  running server's live profile over RPC instead.
+* ``bench [--name S ...] [--out DIR]`` — run the telemetry scenarios
+  and write one ``BENCH_<name>.json`` record each.
+* ``benchdiff --current DIR [--baseline DIR] [--tolerance F]`` —
+  compare fresh records against the committed baselines; exits nonzero
+  on a throughput regression beyond the tolerance (the CI
+  perf-telemetry job's gate).
 """
 
 from __future__ import annotations
@@ -181,6 +191,16 @@ def cmd_stats(options) -> int:
             print("  rules fired:", ", ".join(
                 f"{name}×{count}" for name, count in sorted(fired.items())
             ))
+        _print_latency_summary(snapshot)
+        slo = snapshot.get("slo") or health.get("slo")
+        if slo:
+            for objective in slo["objectives"]:
+                flag = "ALERTING" if objective["alerting"] else (
+                    "ok" if objective["compliant"] else "breaching"
+                )
+                print(f"  slo {objective['name']}: {flag} "
+                      f"(current {objective['current']}, "
+                      f"burn {objective['burn_rate']:.2f}x)")
         print(f"  background errors: {health['background_errors']} "
               f"(audit: {health['audit_errors']})")
         audit = snapshot.get("audit", {})
@@ -188,6 +208,91 @@ def cmd_stats(options) -> int:
             error = f" ERROR {record['error']}" if record.get("error") else ""
             print(f"  [{record['time']:.3f}] {record['category']} "
                   f"{record['name']} ({record['origin']}){error}")
+    return 0
+
+
+def _print_latency_summary(snapshot: Dict[str, object]) -> None:
+    """Per-op latency percentiles from the request histogram's samples.
+
+    The output shape is pinned by tests/core/test_cli.py — one line per
+    op family: ``latency <op>: p50 X ms, p95 Y ms, p99 Z ms (N ops)``.
+    """
+    family = snapshot.get("metrics", {}).get("tiera_request_seconds")
+    if not family:
+        return
+    for key in sorted(family.get("samples", {})):
+        sample = family["samples"][key]
+        if not sample.get("count"):
+            continue
+        op = dict(
+            part.split("=", 1) for part in key.split(",") if "=" in part
+        ).get("op", key or "all")
+        print(f"  latency {op}: "
+              f"p50 {sample['p50'] * 1000:.2f} ms, "
+              f"p95 {sample['p95'] * 1000:.2f} ms, "
+              f"p99 {sample['p99'] * 1000:.2f} ms "
+              f"({sample['count']} ops)")
+
+
+def cmd_profile(options) -> int:
+    from repro.bench.telemetry import profile_scenario, render_profile
+
+    if options.port is not None:
+        client = _connect(options)
+        if client is None:
+            return 1
+        with client:
+            report = client.profile(reset=options.reset)
+    else:
+        try:
+            report = profile_scenario(
+                options.scenario, cprofile=options.cprofile
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if options.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_profile(report))
+    return 0
+
+
+def cmd_bench(options) -> int:
+    from repro.bench.telemetry import SCENARIOS, run_scenario, write_record
+
+    names = options.name or sorted(SCENARIOS)
+    for name in names:
+        try:
+            record = run_scenario(name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        path = write_record(record, options.out)
+        print(f"{name}: {record['operations']} ops, "
+              f"{record['throughput']:.1f} ops/s, "
+              f"p95 {record['latency']['p95'] * 1000:.2f} ms, "
+              f"wall {record['wall_seconds']:.2f}s -> {path}")
+    return 0
+
+
+def cmd_benchdiff(options) -> int:
+    from repro.bench.telemetry import diff_directories
+
+    try:
+        ok, lines = diff_directories(
+            options.baseline, options.current,
+            tolerance=options.tolerance, names=options.name or None,
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for line in lines:
+        print(line)
+    if not ok:
+        print("benchdiff: FAIL", file=sys.stderr)
+        return 1
+    print("benchdiff: ok")
     return 0
 
 
@@ -319,6 +424,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--format", choices=("summary", "json", "prometheus"), default="summary"
     )
     stats.set_defaults(func=cmd_stats)
+
+    profile = commands.add_parser(
+        "profile",
+        help="profile a benchmark scenario (or a running server's window)",
+    )
+    profile.add_argument(
+        "--scenario", default="fig07",
+        help="telemetry scenario to profile locally (fig07, fig13, "
+             "batch_scaling)",
+    )
+    profile.add_argument(
+        "--cprofile", action="store_true",
+        help="also capture function-level detail via cProfile",
+    )
+    profile.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    profile.add_argument("--host", default="127.0.0.1")
+    profile.add_argument(
+        "--port", type=int, default=None,
+        help="query a running server's profile over RPC instead",
+    )
+    profile.add_argument(
+        "--reset", action="store_true",
+        help="with --port: clear the server's profile window after reading",
+    )
+    profile.set_defaults(func=cmd_profile)
+
+    bench = commands.add_parser(
+        "bench", help="run telemetry benchmark scenarios, write BENCH_*.json"
+    )
+    bench.add_argument(
+        "--name", action="append", default=[],
+        help="scenario to run (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--out", default="benchmarks/telemetry",
+        help="directory for BENCH_<name>.json records",
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    benchdiff = commands.add_parser(
+        "benchdiff",
+        help="diff BENCH_*.json records against committed baselines",
+    )
+    benchdiff.add_argument(
+        "--baseline", default="benchmarks/baselines",
+        help="directory holding the committed baseline records",
+    )
+    benchdiff.add_argument(
+        "--current", required=True,
+        help="directory holding the fresh records to check",
+    )
+    benchdiff.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="relative throughput drop that fails the gate (default 0.15)",
+    )
+    benchdiff.add_argument(
+        "--name", action="append", default=[],
+        help="only diff these scenarios (repeatable)",
+    )
+    benchdiff.set_defaults(func=cmd_benchdiff)
 
     chaos = commands.add_parser(
         "chaos", help="run a deterministic fault-injection scenario"

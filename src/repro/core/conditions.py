@@ -81,6 +81,19 @@ _TIER_ATTRS = frozenset(
     {"filled", "used", "capacity", "oldest", "newest", "available", "name"}
 )
 
+# Attributes resolvable on an SLO objective via ``slo.<name>.<attr>``.
+_SLO_ATTRS = frozenset(
+    {
+        "alerting",
+        "burning",  # alias for alerting, reads well in specs
+        "compliant",
+        "burn_rate",
+        "burn_rate_short",
+        "current",
+        "breaches",
+    }
+)
+
 
 @dataclass
 class AttrRef(Condition):
@@ -91,7 +104,11 @@ class AttrRef(Condition):
     * ``insert.object[.attr]`` / ``insert.into`` — the in-flight action,
     * ``object.attr`` — the object under consideration,
     * ``<tiername>[.attr]`` — a tier of the instance,
-    * ``time`` — current clock time.
+    * ``time`` — current clock time,
+    * ``slo.<name>[.attr]`` — live SLO state (``burning``, ``compliant``,
+      ``burn_rate``, …); bare ``slo.<name>`` is the alerting flag, so
+      ``event(slo.get_latency.burning) : response { ... }`` lets policy
+      react to error-budget burn.
     """
 
     path: Tuple[str, ...]
@@ -104,6 +121,8 @@ class AttrRef(Condition):
             return self._resolve_object(scope.obj, self.path[1:], scope)
         if head == "time":
             return scope.now
+        if head == "slo":
+            return self._resolve_slo(scope, self.path[1:])
         if scope.instance is not None and scope.instance.tiers.has(head):
             return self._resolve_tier(scope, head, self.path[1:])
         raise PolicyError(f"cannot resolve attribute path {'.'.join(self.path)!r}")
@@ -142,6 +161,23 @@ class AttrRef(Condition):
         if attr == "access_frequency":
             return meta.access_frequency(scope.now)
         return getattr(meta, attr)
+
+    def _resolve_slo(self, scope: EvalScope, rest: Sequence[str]) -> Any:
+        if not rest:
+            raise PolicyError("bare 'slo' is not a value; use slo.<name>")
+        engine = scope.instance.obs.slo
+        name = rest[0]
+        if not engine.has(name):
+            raise PolicyError(f"no SLO named {name!r} is installed")
+        state = engine.state(name, scope.now)
+        if len(rest) == 1:
+            return state["alerting"]
+        attr = rest[1]
+        if attr not in _SLO_ATTRS:
+            raise PolicyError(f"unknown SLO attribute {attr!r}")
+        if attr == "burning":
+            attr = "alerting"
+        return state[attr]
 
     def _resolve_tier(self, scope: EvalScope, tier_name: str, rest) -> Any:
         tier = scope.instance.tiers.get(tier_name)

@@ -85,15 +85,19 @@ class TieraServer:
 
     def _end(self, op, root, ctx, start, error: Optional[BaseException] = None):
         """Close the trace and record the request's registry samples."""
+        latency = ctx.time - start
         if error is None:
             self._requests.inc(op=op)
-            self._request_seconds.observe(ctx.time - start, op=op)
+            self._request_seconds.observe(latency, op=op)
             self.obs.tracer.finish_request(root, ctx)
         else:
             self._request_errors.inc(op=op, error=type(error).__name__)
             self.obs.tracer.finish_request(
                 root, ctx, error=f"{type(error).__name__}: {error}"
             )
+        # SLO accounting rides the same completion event; it is a no-op
+        # until objectives are installed, and never touches virtual time.
+        self.obs.slo.record(op, latency, error is None, ctx.time)
 
     # -- the StorageAPI surface (envelope verbs) -----------------------------
 
@@ -145,7 +149,8 @@ class TieraServer:
         """
         root, started = self._begin(op.op, op.key, ctx, trace)
         try:
-            result = self._apply_op(op, ctx)
+            with self.obs.profiler.section(f"op:{op.op}"):
+                result = self._apply_op(op, ctx)
         except (TieraError, SimCloudError) as exc:
             self._end(op.op, root, ctx, started, exc)
             return OpResult(
@@ -309,15 +314,35 @@ class TieraServer:
         root = self.obs.tracer.start_request(
             "batch", f"{len(ops)} ops", ctx, force=trace
         )
+        # When this batch is itself nested inside a traced request (the
+        # sharded router's per-shard sub-batches), parent the item spans
+        # on the enclosing span instead of a fresh root.
+        parent = root if root is not None else ctx.span
         started = ctx.time
         lanes = [ctx.time] * max(1, min(parallelism, len(ops)))
         results: List[OpResult] = []
         try:
             branches = ctx.scatter()
-            for op in ops:
+            for index, op in enumerate(ops):
                 lane = min(range(len(lanes)), key=lanes.__getitem__)
                 bctx = branches.branch(at=lanes[lane])
-                results.append(self._run_op(op, bctx))
+                span = None
+                if parent is not None:
+                    # Each item gets its own child span so tier-ops nest
+                    # under the item, not the batch root.  The branch
+                    # inherited the root as its span; repoint it.
+                    span = parent.child(
+                        f"{op.op} {op.key}", "op", bctx.time,
+                        op=op.op, key=op.key, index=index, lane=lane,
+                    )
+                    bctx.span = span
+                result = self._run_op(op, bctx)
+                results.append(result)
+                if span is not None:
+                    span.finish(bctx.time)
+                    if not result.ok:
+                        span.error = result.error
+                    bctx.span = None
                 lanes[lane] = bctx.time
             branches.join()
         finally:
@@ -488,6 +513,12 @@ class TieraServer:
             out["resilience"] = res.summary()
         if instance.durability is not None:
             out["durability"] = instance.durability.summary()
+        slo = self.obs.slo
+        if slo.objectives:
+            summary = slo.summary()
+            out["slo"] = summary
+            if summary["alerting"] and status == "ok":
+                out["status"] = "degraded"
         return out
 
     def last_trace(self):

@@ -93,7 +93,11 @@ class ShardedTieraServer:
         for name, server in shards.items():
             self.shards[name] = server
             self.ring.add(name)
-        self.clock = next(iter(self.shards.values())).clock
+        first = next(iter(self.shards.values()))
+        self.clock = first.clock
+        # The router records into the first shard's hub: one tracer is
+        # enough to hold a routed batch's whole span tree.
+        self.obs = first.obs
         self.admission = AdmissionController(max_inflight)
         self.migrations = 0
 
@@ -142,6 +146,7 @@ class ShardedTieraServer:
         *,
         parallelism: int = api.DEFAULT_PARALLELISM,
         ctx: Optional[RequestContext] = None,
+        trace: bool = False,
     ) -> BatchResult:
         """Fan a batch out to the shards that own its keys.
 
@@ -150,13 +155,18 @@ class ShardedTieraServer:
         shards are independent instances, so the router pays the slowest
         shard, not the sum — and results reassemble into submission
         order.  Admission is enforced at the router on the whole batch
-        before any shard sees work.
+        before any shard sees work.  With tracing on, the router opens
+        the batch root and a ``shard`` child per sub-batch; each shard's
+        per-item ``op`` spans nest under its shard span.
         """
         ops = list(ops)
         if parallelism < 1:
             raise ValueError("parallelism must be at least 1")
         ctx = ctx if ctx is not None else RequestContext(self.clock)
         self.admission.acquire(len(ops))
+        root = self.obs.tracer.start_request(
+            "batch", f"{len(ops)} ops", ctx, force=trace
+        )
         started = ctx.time
         try:
             groups: Dict[str, List[Tuple[int, BatchOp]]] = {}
@@ -168,16 +178,31 @@ class ShardedTieraServer:
             branches = ctx.scatter()
             for shard_name in sorted(groups):
                 sub = groups[shard_name]
+                bctx = branches.branch()
+                span = None
+                if root is not None:
+                    span = root.child(
+                        shard_name, "shard", bctx.time,
+                        shard=shard_name, items=len(sub),
+                    )
+                    bctx.span = span
                 sub_result = self.shards[shard_name].execute_batch(
                     [op for _, op in sub],
                     parallelism=parallelism,
-                    ctx=branches.branch(),
+                    ctx=bctx,
                 )
+                if span is not None:
+                    span.finish(bctx.time)
+                    bctx.span = None
                 for (index, _), item in zip(sub, sub_result.results):
                     results[index] = item
             branches.join()
         finally:
             self.admission.release(len(ops))
+        if root is not None:
+            root.attrs["items"] = len(ops)
+            root.attrs["shards"] = len(groups)
+        self.obs.tracer.finish_request(root, ctx)
         return BatchResult(
             results=results,
             latency=ctx.time - started,

@@ -81,6 +81,9 @@ def stats_snapshot(obs, audit_limit: int = 50) -> Dict[str, object]:
         "retained": len(obs.tracer.recent()),
         "dropped": obs.tracer.dropped,
     }
+    slo = getattr(obs, "slo", None)
+    if slo is not None and slo.objectives:
+        snap["slo"] = slo.summary()
     return snap
 
 

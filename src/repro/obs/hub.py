@@ -14,13 +14,15 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.audit import DEFAULT_AUDIT_CAPACITY, AuditLog
+from repro.obs.profiler import Profiler
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SloEngine
 from repro.obs.trace import DEFAULT_TRACE_CAPACITY, Tracer
 from repro.simcloud.clock import Clock
 
 
 class Observability:
-    """Bundle of the three observability pillars for one stack."""
+    """Bundle of the observability pillars for one stack."""
 
     def __init__(
         self,
@@ -32,6 +34,8 @@ class Observability:
         self.metrics = MetricsRegistry(clock)
         self.tracer = Tracer(clock, capacity=trace_capacity)
         self.audit = AuditLog(capacity=audit_capacity)
+        self.profiler = Profiler()
+        self.slo = SloEngine(self.metrics, self.audit, clock)
 
     def snapshot(self, audit_limit: int = 50) -> dict:
         """JSON-able snapshot of metrics plus the audit tail."""

@@ -35,6 +35,11 @@ DEFAULT_BUCKETS = (
     1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 5.0
 )
 
+#: Per-cell exact-sample reservoir: the first N observations are kept
+#: verbatim, so quantiles over small samples are exact instead of
+#: bucket-interpolated (bucket edges are coarse below ~100 samples).
+EXACT_RESERVOIR = 128
+
 
 def _labelset(labels: Dict[str, str]) -> LabelSet:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
@@ -128,12 +133,17 @@ class Gauge(Metric):
 
 
 class _HistogramCell:
-    __slots__ = ("counts", "sum", "count")
+    __slots__ = ("counts", "sum", "count", "reservoir")
 
     def __init__(self, n_buckets: int):
         self.counts = [0] * n_buckets  # per-bucket (non-cumulative) counts
         self.sum = 0.0
         self.count = 0
+        #: the first EXACT_RESERVOIR raw observations, for exact
+        #: small-sample quantiles.  Once ``count`` outgrows it the
+        #: reservoir stops being representative and quantiles fall back
+        #: to bucket interpolation.
+        self.reservoir: List[float] = []
 
 
 class Histogram(Metric):
@@ -175,6 +185,8 @@ class Histogram(Metric):
         cell.counts[idx] += 1
         cell.sum += value
         cell.count += 1
+        if len(cell.reservoir) < EXACT_RESERVOIR:
+            cell.reservoir.append(value)
         self._stamp()
 
     def count(self, **labels: str) -> int:
@@ -190,6 +202,40 @@ class Histogram(Metric):
         if not cell or not cell.count:
             return 0.0
         return cell.sum / cell.count
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) of a cell.
+
+        While the cell holds no more observations than its exact-sample
+        reservoir, the answer is the exact nearest-rank quantile over
+        the raw values.  Beyond that it falls back to linear
+        interpolation within the covering bucket; observations in the
+        ``+Inf`` overflow bucket report the last finite bound (the
+        Prometheus convention).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        cell = self._cells.get(_labelset(labels))
+        if cell is None or cell.count == 0:
+            return 0.0
+        rank = max(1, min(cell.count, _ceil_rank(q, cell.count)))
+        if cell.count <= len(cell.reservoir):
+            return sorted(cell.reservoir)[rank - 1]
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, cell.counts):
+            if running + n >= rank:
+                fraction = (rank - running) / n
+                return lower + (bound - lower) * fraction
+            running += n
+            lower = bound
+        return self.buckets[-1]
+
+    def percentile(self, p: float, **labels: str) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100] (see :meth:`quantile`)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        return self.quantile(p / 100.0, **labels)
 
     def cumulative(self, **labels: str) -> List[Tuple[float, int]]:
         """Prometheus-style cumulative ``(le, count)`` pairs, +Inf last."""
@@ -208,10 +254,35 @@ class Histogram(Metric):
         return sorted(self._cells)
 
     def sample_dict(self) -> Dict[str, object]:
-        return {
-            _render_labels(ls): {"count": cell.count, "sum": cell.sum}
-            for ls, cell in sorted(self._cells.items())
-        }
+        """JSON-safe per-cell state: count, sum, cumulative buckets (the
+        overflow bound rendered as the string ``"+Inf"`` so snapshots
+        survive strict JSON), and precomputed p50/p95/p99."""
+        out: Dict[str, object] = {}
+        for ls, cell in sorted(self._cells.items()):
+            labels = dict(ls)
+            buckets: List[List[object]] = []
+            running = 0
+            for bound, n in zip(self.buckets, cell.counts):
+                running += n
+                buckets.append([bound, running])
+            buckets.append(["+Inf", cell.count])
+            out[_render_labels(ls)] = {
+                "count": cell.count,
+                "sum": cell.sum,
+                "buckets": buckets,
+                "p50": self.quantile(0.50, **labels),
+                "p95": self.quantile(0.95, **labels),
+                "p99": self.quantile(0.99, **labels),
+            }
+        return out
+
+
+def _ceil_rank(q: float, count: int) -> int:
+    """Nearest-rank index: the smallest rank covering fraction ``q``."""
+    rank = int(q * count)
+    if rank < q * count:
+        rank += 1
+    return rank
 
 
 def _render_labels(labelset: LabelSet) -> str:

@@ -213,6 +213,26 @@ class TieraClient:
     def health(self) -> Dict[str, Any]:
         return self._call("health")
 
+    def profile(self, reset: bool = False) -> Dict[str, Any]:
+        """The server's accumulated wall/virtual profile report.
+
+        ``reset=True`` clears the server's wall-section tree after the
+        report, starting a fresh profiling window."""
+        return self._call("profile", reset=reset)
+
+    def slo(
+        self,
+        install_defaults: bool = False,
+        objectives: Optional[List[Dict[str, Any]]] = None,
+    ) -> Dict[str, Any]:
+        """The SLO engine's summary; optionally install objectives first."""
+        params: Dict[str, Any] = {}
+        if install_defaults:
+            params["install_defaults"] = True
+        if objectives:
+            params["objectives"] = objectives
+        return self._call("slo", **params)
+
     # -- durability -------------------------------------------------------
 
     def fsck(self, repair: bool = False) -> Dict[str, Any]:

@@ -231,6 +231,47 @@ class TieraRpcServer:
     def _method_health(self, params: Dict[str, Any]) -> Dict[str, Any]:
         return self.tiera.health()
 
+    def _method_profile(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """The server's accumulated profile: wall-clock sections from
+        served requests, virtual-time attribution from the registry,
+        and a per-component rollup of retained traces.
+
+        ``reset=true`` clears the wall-section tree after reporting, so
+        the next call profiles a fresh window.
+        """
+        from repro.obs.profiler import trace_breakdown, virtual_breakdown
+
+        obs = self.tiera.obs
+        wall = obs.profiler.wall_report()
+        report = {
+            "measured_wall_seconds": wall["total_seconds"],
+            "coverage": 1.0,
+            "wall": wall,
+            "virtual": virtual_breakdown(None, obs.metrics.snapshot()),
+            "traces": trace_breakdown(obs.tracer.recent()),
+        }
+        if params.get("reset"):
+            obs.profiler.reset()
+        return report
+
+    def _method_slo(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Inspect (and optionally configure) the SLO engine.
+
+        ``install_defaults=true`` installs the canned objectives when
+        none are present; ``objectives=[{...}]`` installs explicit ones
+        (fields of :class:`~repro.obs.slo.SloObjective`).
+        """
+        from repro.obs.slo import SloObjective, default_slos
+
+        engine = self.tiera.obs.slo
+        if params.get("install_defaults") and not engine.objectives:
+            engine.install(default_slos())
+        for spec in params.get("objectives") or []:
+            engine.install([SloObjective(**spec)])
+        if not engine.objectives:
+            return {"objectives": [], "breaching": [], "alerting": []}
+        return engine.summary()
+
     def _method_resilience(self, params: Dict[str, Any]) -> Dict[str, Any]:
         """Inspect (and optionally enable / kick) the resilience layer.
 

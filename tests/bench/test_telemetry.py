@@ -1,0 +1,162 @@
+"""Benchmark telemetry: record shape, determinism, and the regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.telemetry import (
+    SCENARIOS,
+    diff_directories,
+    diff_records,
+    load_record,
+    profile_scenario,
+    record_path,
+    run_scenario,
+    write_record,
+)
+
+#: Keys derived from the virtual timeline — byte-stable per seed.
+DETERMINISTIC_KEYS = (
+    "schema", "name", "seed", "operations", "errors",
+    "virtual_duration", "throughput", "latency", "registry",
+)
+
+
+def deterministic_view(record):
+    return {k: record[k] for k in DETERMINISTIC_KEYS}
+
+
+@pytest.fixture(scope="module")
+def batch_record():
+    """One real run of the fastest scenario, shared across this module."""
+    return run_scenario("batch_scaling")
+
+
+class TestRecords:
+    def test_known_scenarios(self):
+        assert set(SCENARIOS) == {"fig07", "fig13", "batch_scaling"}
+        with pytest.raises(ValueError):
+            run_scenario("fig99")
+
+    def test_record_shape(self, batch_record):
+        record = batch_record
+        assert record["schema"] == 1
+        assert record["name"] == "batch_scaling"
+        assert record["seed"] == 11
+        assert record["operations"] == 400
+        assert record["throughput"] > 0
+        assert set(record["latency"]) == {"mean", "p50", "p95", "p99"}
+        assert record["latency"]["p50"] <= record["latency"]["p99"]
+        assert record["wall_seconds"] > 0
+        assert record["registry"]["tiera_requests_total"] >= 400
+        json.dumps(record)  # JSON-able end to end
+
+    def test_deterministic_fields_are_seed_stable(self, batch_record):
+        again = run_scenario("batch_scaling")
+        assert deterministic_view(again) == deterministic_view(batch_record)
+
+    def test_profile_scenario_covers_the_run(self):
+        report = profile_scenario("batch_scaling")
+        assert report["scenario"] == "batch_scaling"
+        section_names = {s["name"] for s in report["wall"]["sections"]}
+        assert {"build", "load", "drive"} <= section_names
+        assert report["coverage"] > 0.5
+        assert report["virtual"]["total_request_seconds"] > 0
+        assert report["record"]["operations"] == 400
+
+
+class TestPersistence:
+    def test_write_and_load_round_trip(self, batch_record, tmp_path):
+        path = write_record(batch_record, str(tmp_path))
+        assert path == record_path(str(tmp_path), "batch_scaling")
+        assert path.endswith("BENCH_batch_scaling.json")
+        assert load_record(path) == batch_record
+
+    def test_written_file_is_stable_text(self, batch_record, tmp_path):
+        path = write_record(batch_record, str(tmp_path))
+        first = open(path).read()
+        write_record(batch_record, str(tmp_path))
+        assert open(path).read() == first
+        assert first.endswith("\n")
+
+
+class TestDiff:
+    def test_identical_records_pass(self, batch_record):
+        ok, lines = diff_records(batch_record, copy.deepcopy(batch_record))
+        assert ok
+        assert any("throughput" in line and "ok" in line for line in lines)
+
+    def test_twenty_percent_regression_fails(self, batch_record):
+        slower = copy.deepcopy(batch_record)
+        slower["throughput"] = round(batch_record["throughput"] * 0.8, 3)
+        ok, lines = diff_records(batch_record, slower, tolerance=0.15)
+        assert not ok
+        assert any("FAIL" in line for line in lines)
+
+    def test_regression_within_tolerance_passes(self, batch_record):
+        slightly = copy.deepcopy(batch_record)
+        slightly["throughput"] = round(batch_record["throughput"] * 0.9, 3)
+        ok, _ = diff_records(batch_record, slightly, tolerance=0.15)
+        assert ok
+
+    def test_improvement_never_fails(self, batch_record):
+        faster = copy.deepcopy(batch_record)
+        faster["throughput"] = round(batch_record["throughput"] * 2, 3)
+        ok, _ = diff_records(batch_record, faster)
+        assert ok
+
+    def test_operation_count_drift_is_reported(self, batch_record):
+        drifted = copy.deepcopy(batch_record)
+        drifted["operations"] += 1
+        ok, lines = diff_records(batch_record, drifted)
+        assert ok  # reported, not gated
+        assert any("operations" in line for line in lines)
+
+
+class TestDiffDirectories:
+    def _dirs(self, tmp_path, record):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        write_record(record, str(baseline))
+        write_record(record, str(current))
+        return str(baseline), str(current)
+
+    def test_matching_directories_pass(self, batch_record, tmp_path):
+        baseline, current = self._dirs(tmp_path, batch_record)
+        ok, lines = diff_directories(baseline, current)
+        assert ok and lines
+
+    def test_regressed_current_fails(self, batch_record, tmp_path):
+        baseline, current = self._dirs(tmp_path, batch_record)
+        slower = copy.deepcopy(batch_record)
+        slower["throughput"] = round(batch_record["throughput"] * 0.5, 3)
+        write_record(slower, current)
+        ok, lines = diff_directories(baseline, current)
+        assert not ok
+        assert any("FAIL" in line for line in lines)
+
+    def test_missing_baseline_fails(self, batch_record, tmp_path):
+        current = tmp_path / "current"
+        write_record(batch_record, str(current))
+        empty = tmp_path / "baseline"
+        empty.mkdir()
+        ok, lines = diff_directories(str(empty), str(current))
+        assert not ok
+        assert any("no committed baseline" in line for line in lines)
+
+    def test_empty_current_directory_fails(self, batch_record, tmp_path):
+        baseline = tmp_path / "baseline"
+        write_record(batch_record, str(baseline))
+        empty = tmp_path / "current"
+        empty.mkdir()
+        ok, lines = diff_directories(str(baseline), str(empty))
+        assert not ok
+        assert any("no BENCH_" in line for line in lines)
+
+    def test_name_filter_restricts_comparison(self, batch_record, tmp_path):
+        baseline, current = self._dirs(tmp_path, batch_record)
+        ok, _ = diff_directories(baseline, current, names=["batch_scaling"])
+        assert ok
+        ok, lines = diff_directories(baseline, current, names=["fig07"])
+        assert not ok  # filter excluded everything: nothing compared

@@ -1,0 +1,137 @@
+"""Batch span trees: request → (shard) → op → rule → tier-op, on every facade."""
+
+import pytest
+
+from repro.core.api import BatchOp
+from repro.core.events import ActionEvent
+from repro.core.instance import TieraInstance
+from repro.core.policy import Policy, Rule
+from repro.core.responses import Store
+from repro.core.selectors import InsertObject
+from repro.core.server import TieraServer
+from repro.core.sharding import ShardedTieraServer
+from repro.rpc import TieraClient, TieraRpcServer
+from repro.simcloud.clock import WallClock
+from repro.simcloud.cluster import Cluster
+from repro.tiers.registry import TierRegistry
+
+
+def write_through_server(seed=77, clock=None):
+    cluster = Cluster(seed=seed) if clock is None else Cluster(clock=clock)
+    registry = TierRegistry(cluster)
+    tiers = [
+        registry.create("Memcached", tier_name="tier1", size=64 * 1024 * 1024),
+        registry.create("EBS", tier_name="tier2", size=64 * 1024 * 1024),
+    ]
+    instance = TieraInstance(
+        name="batch-trace",
+        tiers=tiers,
+        policy=Policy([
+            Rule(
+                ActionEvent("insert"),
+                [Store(InsertObject(), ("tier1", "tier2"))],
+                name="write-through",
+            )
+        ]),
+        clock=cluster.clock,
+    )
+    return TieraServer(instance)
+
+
+def put_batch(n):
+    return [BatchOp("put", f"k{i}", b"x" * 64) for i in range(n)]
+
+
+def assert_depth4_put_tree(root, expected_ops):
+    """The tentpole shape: every batch item is an ``op`` child of the
+    request root, and each op span still contains the rule and tier-op
+    spans the un-batched path would have produced."""
+    assert root.kind == "request"
+    op_spans = [s for s in root.children if s.kind == "op"]
+    assert len(op_spans) == expected_ops
+    assert [s.attrs["index"] for s in op_spans] == list(range(expected_ops))
+    for span in op_spans:
+        assert span.attrs["op"] == "put"
+        assert "lane" in span.attrs
+        assert span.end >= span.start
+        rules = [c for c in span.children if c.kind == "rule"]
+        assert [r.name for r in rules] == ["write-through"]
+        tier_ops = rules[0].find("tier-op")
+        assert {t.name for t in tier_ops} == {"tier1.put", "tier2.put"}
+
+
+class TestDirectFacade:
+    def test_trace_flag_builds_depth4_tree(self):
+        server = write_through_server()
+        server.execute_batch(put_batch(4), ctx=None, trace=True)
+        root = server.obs.tracer.last()
+        assert root is not None
+        assert root.attrs["op"] == "batch"
+        assert_depth4_put_tree(root, 4)
+
+    def test_item_error_lands_on_its_op_span(self):
+        server = write_through_server()
+        ops = [BatchOp("put", "k0", b"x"), BatchOp("get", "missing")]
+        result = server.execute_batch(ops, trace=True)
+        assert not result.results[1].ok
+        root = server.obs.tracer.last()
+        op_spans = [s for s in root.children if s.kind == "op"]
+        assert op_spans[0].error is None
+        assert op_spans[1].error is not None
+
+    def test_untraced_batch_records_no_spans(self):
+        server = write_through_server()
+        server.execute_batch(put_batch(2))
+        assert server.obs.tracer.last() is None
+
+
+class TestShardedFacade:
+    def test_router_trace_nests_shard_then_op(self):
+        sharded = ShardedTieraServer({
+            "s1": write_through_server(seed=1),
+            "s2": write_through_server(seed=2),
+        })
+        n = 8
+        sharded.execute_batch(put_batch(n), trace=True)
+        root = sharded.obs.tracer.last()
+        assert root is not None and root.kind == "request"
+        shard_spans = [s for s in root.children if s.kind == "shard"]
+        assert shard_spans, "router trace lost its shard spans"
+        assert root.attrs["items"] == n
+        assert root.attrs["shards"] == len(shard_spans)
+        # Every item appears exactly once, under the shard that owns it.
+        all_ops = [op for s in shard_spans for op in s.find("op")]
+        assert len(all_ops) == n
+        assert {op.attrs["key"] for op in all_ops} == {
+            f"k{i}" for i in range(n)
+        }
+        for shard_span in shard_spans:
+            ops_here = shard_span.find("op")
+            assert shard_span.attrs["items"] == len(ops_here)
+            for op in ops_here:
+                rules = [c for c in op.children if c.kind == "rule"]
+                assert [r.name for r in rules] == ["write-through"]
+                assert {t.name for t in rules[0].find("tier-op")} == {
+                    "tier1.put", "tier2.put"
+                }
+
+
+class TestRpcFacade:
+    @pytest.fixture
+    def live(self):
+        clock = WallClock()
+        server = write_through_server(clock=clock)
+        rpc = TieraRpcServer(server, port=0).start()
+        yield rpc
+        rpc.stop()
+        server.instance.shutdown()
+        clock.shutdown()
+
+    def test_server_side_trace_of_remote_batch(self, live):
+        live.tiera.obs.tracer.enabled = True
+        with TieraClient(live.host, live.port) as client:
+            result = client.execute_batch(put_batch(3))
+        assert result.ok
+        root = live.tiera.obs.tracer.last()
+        assert root is not None
+        assert_depth4_put_tree(root, 3)

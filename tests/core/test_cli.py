@@ -1,4 +1,8 @@
-"""The repro CLI: validate / cost commands (serve covered via rpc tests)."""
+"""The repro CLI: validate / cost / stats / profile / bench commands
+(serve itself is covered via the rpc tests)."""
+
+import json
+import re
 
 import pytest
 
@@ -68,3 +72,176 @@ class TestCost:
     def test_bad_arg_format(self, spec_file):
         with pytest.raises(SystemExit):
             main(["cost", spec_file, "--arg", "nonsense"])
+
+
+@pytest.fixture
+def live_rpc():
+    """A served write-through instance for the stats/profile commands."""
+    from repro.core.instance import TieraInstance
+    from repro.core.events import ActionEvent
+    from repro.core.policy import Policy, Rule
+    from repro.core.responses import Store
+    from repro.core.selectors import InsertObject
+    from repro.core.server import TieraServer
+    from repro.rpc import TieraClient, TieraRpcServer
+    from repro.simcloud.clock import WallClock
+    from repro.simcloud.cluster import Cluster
+    from repro.tiers.registry import TierRegistry
+
+    clock = WallClock()
+    cluster = Cluster(clock=clock)
+    registry = TierRegistry(cluster)
+    tiers = [
+        registry.create("Memcached", tier_name="tier1", size=64 * 1024 * 1024),
+        registry.create("EBS", tier_name="tier2", size=64 * 1024 * 1024),
+    ]
+    instance = TieraInstance(
+        name="cli-test",
+        tiers=tiers,
+        policy=Policy([
+            Rule(
+                ActionEvent("insert"),
+                [Store(InsertObject(), ("tier1", "tier2"))],
+                name="write-through",
+            )
+        ]),
+        clock=clock,
+    )
+    rpc = TieraRpcServer(TieraServer(instance), port=0).start()
+    with TieraClient(rpc.host, rpc.port) as conn:
+        for i in range(8):
+            conn.put(f"k{i}", b"v" * 64)
+            conn.get(f"k{i}")
+    yield rpc
+    rpc.stop()
+    instance.shutdown()
+    clock.shutdown()
+
+
+class TestStatsSummary:
+    """Pins the human-facing shape of ``repro stats --format summary``."""
+
+    LATENCY_LINE = re.compile(
+        r"^  latency (get|put): "
+        r"p50 \d+\.\d{2} ms, p95 \d+\.\d{2} ms, p99 \d+\.\d{2} ms "
+        r"\(\d+ ops\)$"
+    )
+
+    def test_latency_lines_per_op_family(self, live_rpc, capsys):
+        assert main([
+            "stats", "--port", str(live_rpc.port), "--format", "summary",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.startswith("  latency ")]
+        assert {m.group(1) for m in map(self.LATENCY_LINE.match, lines) if m} \
+            == {"get", "put"}
+        assert all(self.LATENCY_LINE.match(ln) for ln in lines)
+
+    def test_summary_headline_and_tiers(self, live_rpc, capsys):
+        assert main([
+            "stats", "--port", str(live_rpc.port), "--format", "summary",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "instance cli-test — status ok" in out
+        assert "tier tier1 (memcached)" in out
+
+    def test_slo_lines_appear_once_installed(self, live_rpc, capsys):
+        from repro.rpc import TieraClient
+
+        with TieraClient(live_rpc.host, live_rpc.port) as conn:
+            conn.slo(install_defaults=True)
+        assert main([
+            "stats", "--port", str(live_rpc.port), "--format", "summary",
+        ]) == 0
+        out = capsys.readouterr().out
+        slo_lines = [ln for ln in out.splitlines() if ln.startswith("  slo ")]
+        assert len(slo_lines) == 4
+        assert any("slo get_latency: ok" in ln for ln in slo_lines)
+
+    def test_connection_refused_is_a_clean_error(self, capsys):
+        assert main(["stats", "--port", "1", "--format", "summary"]) == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_local_scenario_json(self, capsys):
+        assert main([
+            "profile", "--scenario", "batch_scaling", "--format", "json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["scenario"] == "batch_scaling"
+        assert report["coverage"] > 0.5
+        assert {"build", "load", "drive"} <= {
+            s["name"] for s in report["wall"]["sections"]
+        }
+
+    def test_local_scenario_text(self, capsys):
+        assert main(["profile", "--scenario", "batch_scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock (per code region)" in out
+        assert "drive" in out
+
+    def test_unknown_scenario(self, capsys):
+        assert main(["profile", "--scenario", "fig99"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_live_server_profile(self, live_rpc, capsys):
+        assert main([
+            "profile", "--port", str(live_rpc.port), "--format", "json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["virtual"]["requests"]["put"]["count"] == 8
+
+
+class TestBenchCommands:
+    def test_bench_writes_record(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "telemetry")
+        assert main([
+            "bench", "--name", "batch_scaling", "--out", out_dir,
+        ]) == 0
+        line = capsys.readouterr().out
+        assert "batch_scaling: 400 ops" in line
+        record = json.load(open(f"{out_dir}/BENCH_batch_scaling.json"))
+        assert record["name"] == "batch_scaling"
+
+    def test_benchdiff_ok_and_regression(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        for d in (baseline, current):
+            d.mkdir()
+        record = {
+            "schema": 1, "name": "demo", "operations": 10,
+            "throughput": 100.0,
+            "latency": {"p50": 0.001, "p95": 0.002, "p99": 0.003},
+            "wall_seconds": 1.0,
+        }
+        (baseline / "BENCH_demo.json").write_text(json.dumps(record))
+        (current / "BENCH_demo.json").write_text(json.dumps(record))
+        assert main([
+            "benchdiff", "--baseline", str(baseline),
+            "--current", str(current),
+        ]) == 0
+        assert "benchdiff: ok" in capsys.readouterr().out
+
+        slower = dict(record, throughput=80.0)  # -20%: past the 15% gate
+        (current / "BENCH_demo.json").write_text(json.dumps(slower))
+        assert main([
+            "benchdiff", "--baseline", str(baseline),
+            "--current", str(current),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "benchdiff: FAIL" in captured.err
+
+    def test_benchdiff_missing_baseline_dir(self, tmp_path, capsys):
+        current = tmp_path / "current"
+        current.mkdir()
+        (current / "BENCH_demo.json").write_text(json.dumps({
+            "schema": 1, "name": "demo", "operations": 1,
+            "throughput": 1.0, "latency": {}, "wall_seconds": 1.0,
+        }))
+        assert main([
+            "benchdiff", "--baseline", str(tmp_path / "nope"),
+            "--current", str(current),
+        ]) == 1
+        assert "no committed baseline" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""Prometheus exposition escaping and JSON snapshot round-trips."""
+
+import json
+
+from repro.obs.export import render_prometheus, stats_snapshot
+from repro.obs.hub import Observability
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import default_slos
+
+
+class TestPrometheusEscaping:
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("tiera_test_total", "help")
+        counter.inc(key='say "hi"')
+        counter.inc(key="back\\slash")
+        counter.inc(key="two\nlines")
+        text = render_prometheus(registry)
+        assert r'key="say \"hi\""' in text
+        assert r'key="back\\slash"' in text
+        assert r'key="two\nlines"' in text
+        # The raw control characters never leak into the exposition:
+        # every line stays parseable as name{labels} value.
+        for line in text.splitlines():
+            assert line.startswith(("#", "tiera_test_total"))
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("tiera_test_total", 'line\nbreak and "quote"')
+        text = render_prometheus(registry)
+        assert r"# HELP tiera_test_total line\nbreak and \"quote\"" in text
+
+    def test_histogram_emits_cumulative_buckets_and_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "tiera_test_seconds", "help", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05, op="get")
+        hist.observe(0.5, op="get")
+        hist.observe(50.0, op="get")
+        text = render_prometheus(registry)
+        assert 'tiera_test_seconds_bucket{op="get",le="0.1"} 1' in text
+        assert 'tiera_test_seconds_bucket{op="get",le="1"} 2' in text
+        assert 'tiera_test_seconds_bucket{op="get",le="+Inf"} 3' in text
+        assert 'tiera_test_seconds_count{op="get"} 3' in text
+
+    def test_unlabelled_metric_has_no_braces(self):
+        registry = MetricsRegistry()
+        registry.gauge("tiera_test", "help").set(2.5)
+        assert "tiera_test 2.5" in render_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestStatsSnapshot:
+    def _active_obs(self):
+        obs = Observability()
+        obs.metrics.counter("tiera_test_total", "help").inc(op="get")
+        hist = obs.metrics.histogram("tiera_request_seconds", "help")
+        hist.observe(0.004, op="get")
+        hist.observe(0.120, op="put")
+        obs.slo.install(default_slos())
+        obs.slo.record("get", 0.004, True, at=1.0)
+        obs.slo.evaluate(2.0)
+        return obs
+
+    def test_snapshot_json_round_trips(self):
+        obs = self._active_obs()
+        snap = stats_snapshot(obs)
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped == snap
+
+    def test_snapshot_carries_slo_summary(self):
+        snap = stats_snapshot(self._active_obs())
+        names = {s["name"] for s in snap["slo"]["objectives"]}
+        assert names == {
+            "get_availability", "put_availability",
+            "get_latency", "put_latency",
+        }
+        assert snap["slo"]["alerting"] == []
+
+    def test_snapshot_without_objectives_omits_slo(self):
+        obs = Observability()
+        assert "slo" not in stats_snapshot(obs)
+
+    def test_snapshot_histogram_percentiles_are_json_numbers(self):
+        snap = stats_snapshot(self._active_obs())
+        cell = snap["metrics"]["tiera_request_seconds"]["samples"]["op=get"]
+        assert cell["p50"] == 0.004
+        assert cell["buckets"][-1][0] == "+Inf"
+        json.dumps(cell)

@@ -1,0 +1,94 @@
+"""Histogram quantiles: exact small-sample reservoir vs bucket estimates."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import EXACT_RESERVOIR, Histogram
+
+
+def test_exact_quantiles_for_small_samples():
+    h = Histogram("h")
+    for value in (0.001, 0.002, 0.004, 0.010):
+        h.observe(value)
+    # Nearest-rank over the raw values: no bucket smearing.
+    assert h.quantile(0.5) == 0.002
+    assert h.quantile(0.75) == 0.004
+    assert h.quantile(0.99) == 0.010
+    assert h.quantile(1.0) == 0.010
+    assert h.quantile(0.0) == 0.001
+
+
+def test_percentile_is_quantile_in_percent():
+    h = Histogram("h")
+    for value in (0.001, 0.002, 0.004, 0.010):
+        h.observe(value)
+    assert h.percentile(50) == h.quantile(0.5)
+    assert h.percentile(99) == h.quantile(0.99)
+
+
+def test_exact_vs_bucket_estimates_on_known_distribution():
+    """Uniform values inside one wide bucket: the exact path nails the
+    median; interpolation over the same data is close but not exact."""
+    values = [0.010 + 0.0002 * i for i in range(100)]  # inside (3e-3, 1e-2]..
+    exact = Histogram("exact")
+    bucketed = Histogram("bucketed")
+    for v in values:
+        exact.observe(v)
+    # Overflow the reservoir so the second histogram must interpolate.
+    for v in values * ((EXACT_RESERVOIR // len(values)) + 1):
+        bucketed.observe(v)
+    true_median = sorted(values)[49]
+    assert exact.quantile(0.5) == true_median
+    estimate = bucketed.quantile(0.5)
+    assert estimate != true_median  # interpolation, not exact
+    # ...but within the covering bucket's width of the truth.
+    assert abs(estimate - true_median) < 0.03
+
+
+def test_bucket_interpolation_is_monotone():
+    h = Histogram("h")
+    for i in range(1000):
+        h.observe(0.0001 * (i % 97) + 1e-5)
+    qs = [h.quantile(q / 100) for q in range(0, 101, 5)]
+    assert qs == sorted(qs)
+
+
+def test_overflow_reports_last_finite_bound():
+    h = Histogram("h", buckets=(0.1, 1.0))
+    for _ in range(EXACT_RESERVOIR + 10):
+        h.observe(50.0)  # everything beyond the last bound
+    assert h.quantile(0.99) == 1.0
+
+
+def test_quantile_validation_and_empty_cell():
+    h = Histogram("h")
+    assert h.quantile(0.5) == 0.0
+    assert h.quantile(0.5, op="missing") == 0.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_labelled_cells_keep_independent_reservoirs():
+    h = Histogram("h")
+    h.observe(0.001, op="get")
+    h.observe(0.5, op="put")
+    assert h.quantile(0.5, op="get") == 0.001
+    assert h.quantile(0.5, op="put") == 0.5
+
+
+def test_sample_dict_carries_percentiles_and_is_json_safe():
+    h = Histogram("h")
+    for value in (0.001, 0.002, 0.004, 0.010, 10.0):
+        h.observe(value, op="get")
+    samples = h.sample_dict()
+    cell = samples["op=get"]
+    assert cell["count"] == 5
+    assert cell["p50"] == 0.004
+    assert cell["p99"] == 10.0
+    # The overflow bound is the string "+Inf": strict JSON survives.
+    assert cell["buckets"][-1] == ["+Inf", 5]
+    round_tripped = json.loads(json.dumps(samples))
+    assert round_tripped["op=get"]["count"] == 5
