@@ -20,6 +20,10 @@ Commands mirror how the paper's prototype is operated:
   scrub on a running server over RPC; ``--repair`` fixes findings.
 * ``snapshot --port P --out FILE`` / ``restore --port P FILE`` —
   barman-style full backup and restore of a running instance's state.
+* ``backup <snapshot|restore|prune|verify|list> --port P ...`` — the
+  backup lifecycle against a server started with ``--backup-root``:
+  incremental snapshots, point-in-time restore (``--to-seq`` /
+  ``--to-time``), retention pruning, and recovery verification.
 * ``crashsweep [--deployment D] [--seed N] ...`` — offline: crash a
   scripted workload at every registered crash point, reopen, verify
   recovery invariants, print the JSON report (byte-identical across
@@ -128,6 +132,8 @@ def cmd_serve(options) -> int:
     except (SpecSyntaxError, Exception) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if getattr(options, "backup_root", None):
+        instance.enable_backups(options.backup_root)
     server = TieraRpcServer(
         TieraServer(instance), host=options.host, port=options.port
     ).start()
@@ -201,6 +207,7 @@ def cmd_stats(options) -> int:
                 print(f"  slo {objective['name']}: {flag} "
                       f"(current {objective['current']}, "
                       f"burn {objective['burn_rate']:.2f}x)")
+        _print_backup_summary(health.get("backup"))
         print(f"  background errors: {health['background_errors']} "
               f"(audit: {health['audit_errors']})")
         audit = snapshot.get("audit", {})
@@ -209,6 +216,34 @@ def cmd_stats(options) -> int:
             print(f"  [{record['time']:.3f}] {record['category']} "
                   f"{record['name']} ({record['origin']}){error}")
     return 0
+
+
+def _print_backup_summary(backup: Optional[Dict[str, object]]) -> None:
+    """Backup-chain status lines for the stats summary.
+
+    The output shape is pinned by tests/core/test_cli.py — a ``backup:``
+    chain line and a ``last verified restore:`` line.
+    """
+    if not backup:
+        return
+    last = backup.get("last_snapshot")
+    wal = backup["wal"]
+    chain = (f"{backup['snapshots']} snapshots "
+             f"({backup['full']} full, {backup['incremental']} incremental)")
+    tail = ""
+    if last is not None:
+        tail = (f", last {last['kind']} #{last['id']} "
+                f"at t={last['created_at']:.1f}s")
+    print(f"  backup: {chain}, wal {wal['records']} records "
+          f"through seq {wal['last_seq']}{tail}")
+    verified = backup.get("last_verified_restore")
+    if verified is None:
+        print("  last verified restore: never")
+    else:
+        flag = "ok" if verified.get("ok") else "FAILED"
+        print(f"  last verified restore: t={verified['time']:.1f}s {flag} "
+              f"(snapshot {verified.get('snapshot')}, "
+              f"{verified.get('replayed', 0)} wal records replayed)")
 
 
 def _print_latency_summary(snapshot: Dict[str, object]) -> None:
@@ -377,6 +412,62 @@ def cmd_restore(options) -> int:
     return 0 if result.get("verified") else 1
 
 
+def cmd_backup(options) -> int:
+    client = _connect(options)
+    if client is None:
+        return 1
+    from repro.rpc import RpcError
+
+    action = options.backup_action
+    params: Dict[str, object] = {}
+    if action == "snapshot":
+        params["kind"] = options.kind
+        if options.immutable:
+            params["immutable"] = True
+    elif action == "restore":
+        if options.to_seq is not None:
+            params["to_seq"] = options.to_seq
+        if options.to_time is not None:
+            params["to_time"] = options.to_time
+        if options.snapshot_id is not None:
+            params["snapshot_id"] = options.snapshot_id
+    elif action == "prune":
+        if options.keep_last is not None:
+            params["keep_last"] = options.keep_last
+        if options.keep_window is not None:
+            params["keep_window"] = options.keep_window
+    with client:
+        try:
+            result = client.backup(action=action, **params)
+        except RpcError as exc:
+            print(f"backup {action} failed: {exc}", file=sys.stderr)
+            return 1
+    if not result.get("enabled"):
+        print("backups are not enabled on this server "
+              "(serve with --backup-root)", file=sys.stderr)
+        return 1
+    if action == "list":
+        for entry in result["snapshots"]:
+            flags = "".join(
+                flag for flag, on in (
+                    (" immutable", entry.get("immutable")),
+                    (" retired", entry.get("retired")),
+                ) if on
+            )
+            parent = (f" parent #{entry['parent']}"
+                      if entry.get("parent") is not None else "")
+            print(f"#{entry['id']} {entry['kind']}: "
+                  f"{entry['objects']} objects, {entry['bytes']} bytes, "
+                  f"seq {entry['base_seq']}..{entry['upto_seq']}"
+                  f"{parent}{flags}")
+        return 0
+    payload = result.get(action) or result.get("snapshot") or result
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if action == "verify":
+        return 0 if payload.get("ok") else 1
+    return 0
+
+
 def cmd_crashsweep(options) -> int:
     from repro.bench.crashsweep import run_crash_sweep
 
@@ -413,6 +504,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--arg", action="append", default=[])
+    serve.add_argument(
+        "--backup-root", default=None,
+        help="attach a backup store (snapshots + archived WAL) at this "
+             "directory",
+    )
     serve.set_defaults(func=cmd_serve)
 
     stats = commands.add_parser(
@@ -534,6 +630,64 @@ def main(argv: Optional[List[str]] = None) -> int:
     restore.add_argument("--host", default="127.0.0.1")
     restore.add_argument("--port", type=int, required=True)
     restore.set_defaults(func=cmd_restore)
+
+    backup = commands.add_parser(
+        "backup", help="backup lifecycle of a running instance"
+    )
+    backup_actions = backup.add_subparsers(
+        dest="backup_action", required=True
+    )
+
+    def _backup_common(sub):
+        sub.add_argument("--host", default="127.0.0.1")
+        sub.add_argument("--port", type=int, required=True)
+        sub.set_defaults(func=cmd_backup)
+        return sub
+
+    bsnap = _backup_common(backup_actions.add_parser(
+        "snapshot", help="take a full or incremental snapshot"
+    ))
+    bsnap.add_argument(
+        "--kind", choices=("auto", "full", "incremental"), default="auto"
+    )
+    bsnap.add_argument(
+        "--immutable", action="store_true",
+        help="protect this snapshot from retention pruning",
+    )
+    brestore = _backup_common(backup_actions.add_parser(
+        "restore", help="point-in-time restore from the backup store"
+    ))
+    brestore.add_argument(
+        "--to-seq", type=int, default=None,
+        help="replay the archived journal up to this sequence number",
+    )
+    brestore.add_argument(
+        "--to-time", type=float, default=None,
+        help="restore to the latest archived state at/before this "
+             "virtual time",
+    )
+    brestore.add_argument(
+        "--snapshot-id", type=int, default=None,
+        help="restore exactly this snapshot (no journal replay)",
+    )
+    bprune = _backup_common(backup_actions.add_parser(
+        "prune", help="apply retention policy to the snapshot catalog"
+    ))
+    bprune.add_argument(
+        "--keep-last", type=int, default=None,
+        help="keep the N newest snapshots",
+    )
+    bprune.add_argument(
+        "--keep-window", type=float, default=None,
+        help="keep snapshots from the last W virtual seconds",
+    )
+    _backup_common(backup_actions.add_parser(
+        "verify", help="restore the latest chain into a scratch "
+                       "instance and check it"
+    ))
+    _backup_common(backup_actions.add_parser(
+        "list", help="list the snapshot catalog"
+    ))
 
     crashsweep = commands.add_parser(
         "crashsweep",

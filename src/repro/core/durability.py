@@ -84,6 +84,12 @@ class IntentJournal:
         self.store = store
         self._pending: Dict[int, Dict[str, object]] = {}
         self._next_seq = 0
+        #: optional ``archiver(seq, record, applied)`` hook, called once
+        #: for every record that leaves the journal: ``applied=True`` on
+        #: commit (the redo plan took effect), ``False`` on abort.  The
+        #: backup layer uses this to turn the journal into an archived
+        #: write-ahead log for point-in-time restore.
+        self.archiver = None
         for seq, record in self._scan():
             self._pending[seq] = record
             self._next_seq = max(self._next_seq, seq + 1)
@@ -113,14 +119,24 @@ class IntentJournal:
         self._pending[seq] = record
         return seq
 
-    def commit(self, seq: int) -> None:
-        if self._pending.pop(seq, None) is not None:
-            self.store.delete(self._key(seq))
+    def _finish(self, seq: int, applied: bool) -> None:
+        record = self._pending.pop(seq, None)
+        if record is None:
+            return
+        self.store.delete(self._key(seq))
+        if self.archiver is not None:
+            self.archiver(seq, record, applied)
 
-    #: Rolling an intent back and committing it are the same journal
-    #: operation; the distinction (was the redo plan applied?) lives in
-    #: the caller.
-    abort = commit
+    def commit(self, seq: int) -> None:
+        self._finish(seq, applied=True)
+
+    def abort(self, seq: int) -> None:
+        """Retire a record whose redo plan was *not* applied.
+
+        Storage-wise identical to :meth:`commit`; the distinction only
+        matters to the archiver hook, which must never replay an
+        aborted intent."""
+        self._finish(seq, applied=False)
 
     def pending(self) -> List[Tuple[int, Dict[str, object]]]:
         """In-flight records, oldest first."""
@@ -128,7 +144,7 @@ class IntentJournal:
 
     def clear(self) -> None:
         for seq in list(self._pending):
-            self.commit(seq)
+            self.abort(seq)
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -710,21 +726,23 @@ def _first_copy(instance, meta: ObjectMeta) -> Optional[bytes]:
 # -- snapshot / restore (barman-style full-instance backup) ---------------
 
 
-def snapshot_archive(
+def archived_state(
     instance, include_volatile: bool = False
-) -> Tuple[bytes, Dict[str, object]]:
-    """Serialize metadata + durable-tier contents to a tar archive.
+) -> Tuple[List[ObjectMeta], List[Tuple[str, Dict[str, bytes]]], str]:
+    """The backup-eligible view of an instance's state.
 
-    Returns ``(archive_bytes, manifest)``.  The archive is deterministic
-    (fixed member order, zeroed tar timestamps) so same-state snapshots
-    are byte-identical.  Volatile tiers (memcached) are excluded unless
-    ``include_volatile`` — their loss is the crash model, so a backup
-    that promised to restore them would lie.
+    Returns ``(kept_metas, tier_rows, digest)``: object metadata with
+    locations filtered to archived tiers (objects holding no archived
+    copy are dropped; aliases kept only when their canonical is),
+    ``(tier_name, {key: bytes})`` rows for *every* tier in declaration
+    order (non-archived tiers contribute an empty dict, so the digest is
+    directly comparable to :meth:`TieraInstance.state_digest` on a
+    freshly restored target), and the state fingerprint over both.
     """
-    archived = [
-        t for t in instance.tiers.ordered() if t.durable or include_volatile
-    ]
-    archived_names = {t.name for t in archived}
+    archived_names = {
+        t.name for t in instance.tiers.ordered()
+        if t.durable or include_volatile
+    }
 
     kept: List[ObjectMeta] = []
     kept_keys = set()
@@ -766,7 +784,40 @@ def snapshot_archive(
     ]
     from repro.core.instance import state_fingerprint
 
-    digest = state_fingerprint(meta_rows, tier_rows)
+    return kept, tier_rows, state_fingerprint(meta_rows, tier_rows)
+
+
+def pack_archive(members: List[Tuple[str, bytes]]) -> bytes:
+    """Pack named members into a deterministic tar (zeroed timestamps,
+    fixed order) — same-state archives are byte-identical."""
+    buf = io.BytesIO()
+    with tarfile.open(fileobj=buf, mode="w") as tar:
+        for name, blob in members:
+            info = tarfile.TarInfo(name)
+            info.size = len(blob)
+            info.mtime = 0
+            info.uid = info.gid = 0
+            info.uname = info.gname = ""
+            tar.addfile(info, io.BytesIO(blob))
+    return buf.getvalue()
+
+
+def snapshot_archive(
+    instance, include_volatile: bool = False
+) -> Tuple[bytes, Dict[str, object]]:
+    """Serialize metadata + durable-tier contents to a tar archive.
+
+    Returns ``(archive_bytes, manifest)``.  The archive is deterministic
+    (fixed member order, zeroed tar timestamps) so same-state snapshots
+    are byte-identical.  Volatile tiers (memcached) are excluded unless
+    ``include_volatile`` — their loss is the crash model, so a backup
+    that promised to restore them would lie.
+    """
+    archived = [
+        t for t in instance.tiers.ordered() if t.durable or include_volatile
+    ]
+    archived_names = {t.name for t in archived}
+    kept, _tier_rows, digest = archived_state(instance, include_volatile)
 
     manifest: Dict[str, object] = {
         "format": SNAPSHOT_FORMAT,
@@ -805,15 +856,7 @@ def snapshot_archive(
         )
         members.append((f"data/{tier.name}.jsonl", lines))
 
-    buf = io.BytesIO()
-    with tarfile.open(fileobj=buf, mode="w") as tar:
-        for name, blob in members:
-            info = tarfile.TarInfo(name)
-            info.size = len(blob)
-            info.mtime = 0
-            info.uid = info.gid = 0
-            info.uname = info.gname = ""
-            tar.addfile(info, io.BytesIO(blob))
+    blob = pack_archive(members)
     instance.obs.metrics.counter(
         "tiera_snapshots_total", "Snapshot archives produced."
     ).inc()
@@ -825,7 +868,7 @@ def snapshot_archive(
         foreground=False,
         detail={"objects": len(kept), "tiers": sorted(archived_names)},
     ))
-    return buf.getvalue(), manifest
+    return blob, manifest
 
 
 def write_snapshot(
@@ -975,6 +1018,7 @@ def reopen_instance(
     clock,
     metadata_store,
     eviction_chain: Optional[Dict[str, str]] = None,
+    backup_root: Optional[str] = None,
     **kwargs,
 ):
     """Boot a successor instance over crash-surviving state.
@@ -983,6 +1027,11 @@ def reopen_instance(
     (sorted: access order died with the process), constructs the
     instance, and runs durability recovery.  Returns ``(instance,
     recovery_report)``.
+
+    With ``backup_root``, the predecessor's backup store is re-attached
+    *before* recovery runs, so journal records replayed during recovery
+    land in the archived WAL — the point-in-time history has no hole
+    across the crash.
     """
     from repro.core.instance import TieraInstance
 
@@ -1000,5 +1049,8 @@ def reopen_instance(
     )
     if eviction_chain:
         instance.eviction_chain.update(eviction_chain)
-    layer = instance.enable_durability()
+    layer = instance.enable_durability(recover=False)
+    if backup_root is not None:
+        instance.enable_backups(backup_root, assume_continuity=True)
+    layer.recover()
     return instance, layer.last_recovery

@@ -107,6 +107,14 @@ class NoCapacityError(TieraError):
         super().__init__(f"tier {tier!r} cannot fit object {key!r}")
 
 
+class BackupError(TieraError):
+    """A backup operation could not proceed: no usable chain, a
+    point-in-time target outside the archived history, a digest or
+    archive-integrity mismatch, or a torn backup store."""
+
+    code = "BACKUP_ERROR"
+
+
 class BackpressureError(TieraError):
     """Admission control refused the work: too many operations in
     flight.  Back off and retry; nothing was attempted."""

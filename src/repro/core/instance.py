@@ -129,6 +129,14 @@ class TieraInstance:
         #: durability layer (intent journal / recovery / fsck) — opt-in
         #: via :meth:`enable_durability`; ``None`` journals nothing.
         self.durability = None
+        #: backup manager (incremental snapshots / PITR / verification)
+        #: — opt-in via :meth:`enable_backups`; ``None`` archives nothing.
+        self.backup = None
+        #: ``hook(key)`` fired on every metadata upsert/drop; the backup
+        #: layer's change tracking listens here so metadata-only edits
+        #: (tags, aliases, fsck repairs) dirty the object for the next
+        #: incremental snapshot even though they journal nothing.
+        self.on_meta_change = None
         #: crash-point injector (repro.simcloud.faults.CrashPointInjector)
         #: — set by the crash sweep; ``None`` makes boundaries free.
         self.crash_points = None
@@ -164,6 +172,8 @@ class TieraInstance:
 
     def persist_meta(self, meta: ObjectMeta) -> None:
         self.metadata_store.put(meta.key.encode("utf-8"), meta.to_json())
+        if self.on_meta_change is not None:
+            self.on_meta_change(meta.key)
 
     def create_object(
         self, key: str, size: int, tags: Optional[Set[str]] = None
@@ -194,6 +204,8 @@ class TieraInstance:
     def _drop_meta(self, key: str) -> None:
         self._meta.pop(key, None)
         self.metadata_store.delete(key.encode("utf-8"))
+        if self.on_meta_change is not None:
+            self.on_meta_change(key)
 
     # -- de-duplication index (storeOnce) ---------------------------------
 
@@ -746,6 +758,36 @@ class TieraInstance:
                 self.durability.recover()
         return self.durability
 
+    # -- backups (incremental snapshots / PITR / verification) ---------------
+
+    def enable_backups(
+        self,
+        root: str,
+        segment_records: Optional[int] = None,
+        assume_continuity: bool = False,
+    ):
+        """Attach a backup store rooted at directory ``root``.
+
+        Idempotent; returns the :class:`~repro.core.backup.BackupManager`.
+        Requires (and if necessary enables) the durability layer — the
+        backup WAL is the archived form of its intent journal.
+        ``assume_continuity=True`` declares that every journal record
+        since the store's last snapshot was archived (the
+        reopen-after-crash path over the same root); otherwise a
+        non-empty store forces the next snapshot to be full.
+        """
+        if self.backup is None:
+            from repro.core.backup import BackupManager
+
+            self.enable_durability(recover=False)
+            kwargs = {}
+            if segment_records is not None:
+                kwargs["segment_records"] = segment_records
+            self.backup = BackupManager(
+                self, root, assume_continuity=assume_continuity, **kwargs
+            )
+        return self.backup
+
     def state_digest(self, durable_only: bool = False) -> str:
         """Deterministic fingerprint of stored state.
 
@@ -887,6 +929,8 @@ class TieraInstance:
         self.control.shutdown()
         if self.resilience is not None:
             self.resilience.detach()
+        if self.backup is not None:
+            self.backup.close()
         if self.durability is not None:
             self.durability.close()
         self.obs.metrics.remove_collector(self._collect_gauges)

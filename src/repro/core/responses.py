@@ -476,3 +476,45 @@ class Snapshot(Response):
             snap_key = f"{key}@{self.label}"
             instance.create_object(snap_key, len(data), tags={"snapshot"})
             instance.write_to_tier(snap_key, data, self.to, ctx)
+
+
+@dataclass
+class BackupSnapshot(Response):
+    """Take an instance-level backup snapshot (``backupSnapshot()``).
+
+    Driven from timer rules for a snapshot schedule; ``kind`` is
+    ``auto`` (incremental when a parent chain exists), ``full``, or
+    ``incremental``.  Requires backups enabled on the instance.
+    """
+
+    kind: str = "auto"
+
+    def execute(self, scope: EvalScope, ctx: RequestContext) -> None:
+        manager = getattr(scope.instance, "backup", None)
+        if manager is None:
+            raise PolicyError(
+                "backupSnapshot() requires backups to be enabled "
+                "(TieraInstance.enable_backups)"
+            )
+        manager.snapshot(kind=self.kind)
+
+
+@dataclass
+class VerifyBackup(Response):
+    """Run a scheduled recovery-verification drill (``verifyBackup()``).
+
+    Restores the latest snapshot chain plus WAL tail into a scratch
+    instance, checks digest + fsck, and records the outcome as
+    ``last_verified_restore`` (surfaced by ``health()``).  The drill
+    itself never raises on a failed verification — a failed drill *is*
+    the recorded result the schedule exists to produce.
+    """
+
+    def execute(self, scope: EvalScope, ctx: RequestContext) -> None:
+        manager = getattr(scope.instance, "backup", None)
+        if manager is None:
+            raise PolicyError(
+                "verifyBackup() requires backups to be enabled "
+                "(TieraInstance.enable_backups)"
+            )
+        manager.verify_restore()

@@ -513,6 +513,18 @@ class TieraServer:
             out["resilience"] = res.summary()
         if instance.durability is not None:
             out["durability"] = instance.durability.summary()
+        if instance.backup is not None:
+            backup = instance.backup.health_summary()
+            out["backup"] = backup
+            verified = backup["last_verified_restore"]
+            if (
+                verified is not None
+                and not verified.get("ok")
+                and out["status"] == "ok"
+            ):
+                # The latest restore drill failed: the instance serves
+                # fine but its recoverability claim is broken.
+                out["status"] = "dirty"
         slo = self.obs.slo
         if slo.objectives:
             summary = slo.summary()

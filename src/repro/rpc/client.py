@@ -253,6 +253,17 @@ class TieraClient:
         """Replace the server's state with a snapshot archive's."""
         return self._call("restore", archive=encode_bytes(archive))
 
+    def backup(self, action: str = "status", **params) -> Dict[str, Any]:
+        """Drive the server's backup lifecycle.
+
+        ``action`` is ``snapshot`` / ``restore`` / ``prune`` /
+        ``verify`` / ``list`` / ``mark_immutable`` / ``status``;
+        remaining keyword arguments pass through (``kind=``,
+        ``to_seq=``, ``keep_last=``, ``snapshot_id=``, …).  Returns
+        ``{"enabled": False}`` when the instance has no backup store
+        attached (pass ``enable=True, root="…"`` to attach one)."""
+        return self._call("backup", action=action, **params)
+
     def resilience(
         self, enable: Optional[bool] = None, replay: bool = False
     ) -> Dict[str, Any]:

@@ -318,6 +318,70 @@ class TieraRpcServer:
             self.tiera.instance, decode_bytes(params["archive"])
         )
 
+    def _method_backup(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Backup lifecycle verbs, dispatched on ``action``:
+        ``snapshot`` / ``restore`` / ``prune`` / ``verify`` / ``list`` /
+        ``mark_immutable`` / ``status``.  Requires backups enabled on
+        the instance (``enable=true`` with a ``root`` attaches one)."""
+        instance = self.tiera.instance
+        if params.get("enable") and instance.backup is None:
+            instance.enable_backups(str(params["root"]))
+        manager = instance.backup
+        if manager is None:
+            return {"enabled": False}
+        action = str(params.get("action", "status"))
+        if action == "snapshot":
+            entry = manager.snapshot(
+                kind=str(params.get("kind", "auto")),
+                immutable=bool(params.get("immutable")),
+            )
+            return {"enabled": True, "snapshot": entry}
+        if action == "restore":
+            to_seq = params.get("to_seq")
+            to_time = params.get("to_time")
+            snapshot_id = params.get("snapshot_id")
+            return {
+                "enabled": True,
+                "restore": manager.restore(
+                    to_seq=int(to_seq) if to_seq is not None else None,
+                    to_time=(
+                        float(to_time) if to_time is not None else None
+                    ),
+                    snapshot_id=(
+                        int(snapshot_id) if snapshot_id is not None else None
+                    ),
+                ),
+            }
+        if action == "prune":
+            keep_last = params.get("keep_last")
+            keep_window = params.get("keep_window")
+            return {
+                "enabled": True,
+                "prune": manager.prune(
+                    keep_last=(
+                        int(keep_last) if keep_last is not None else None
+                    ),
+                    keep_window=(
+                        float(keep_window) if keep_window is not None
+                        else None
+                    ),
+                ),
+            }
+        if action == "verify":
+            return {"enabled": True, "verify": manager.verify_restore()}
+        if action == "list":
+            return {"enabled": True, "snapshots": manager.list_snapshots()}
+        if action == "mark_immutable":
+            return {
+                "enabled": True,
+                "snapshot": manager.mark_immutable(
+                    int(params["snapshot_id"])
+                ),
+            }
+        if action == "status":
+            return {"enabled": True, "status": manager.health_summary()}
+        raise ValueError(f"unknown backup action {action!r}")
+
     def _method_tiers(self, params: Dict[str, Any]) -> list:
         return [
             {

@@ -47,6 +47,7 @@ CRASH_POINTS: Tuple[str, ...] = (
     "rewrite.begin", "rewrite.journaled", "rewrite.data", "rewrite.commit",
     "delete.begin", "delete.journaled", "delete.data", "delete.commit",
     "checkpoint.begin", "checkpoint.done",
+    "backup.snapshot.begin", "backup.snapshot.temp", "backup.snapshot.done",
 )
 
 

@@ -360,6 +360,33 @@ class Compiler:
             self._selector(stmt), to=self._tier_arg(stmt, "to"), label=str(label)
         )
 
+    def _call_backupSnapshot(self, stmt: ast.CallStmt) -> "Response":
+        from repro.core.responses import BackupSnapshot
+
+        expr = stmt.args.get("kind")
+        if expr is None:
+            kind = "auto"
+        elif (
+            isinstance(expr, ast.PathExpr)
+            and len(expr.parts) == 1
+            and expr.parts[0] not in self.args
+        ):
+            # Bare-identifier idiom, like store(to: tier1).
+            kind = expr.parts[0]
+        else:
+            kind = str(self._literal_arg(stmt, "kind", unit="string"))
+        if kind not in ("auto", "full", "incremental"):
+            raise PolicyError(
+                f"line {stmt.line}: backupSnapshot 'kind:' must be "
+                f"\"auto\", \"full\", or \"incremental\""
+            )
+        return BackupSnapshot(kind=kind)
+
+    def _call_verifyBackup(self, stmt: ast.CallStmt) -> "Response":
+        from repro.core.responses import VerifyBackup
+
+        return VerifyBackup()
+
     def _call_shrink(self, stmt: ast.CallStmt) -> Shrink:
         percent = self._literal_arg(stmt, "decrement", unit="percent")
         if percent is None:

@@ -245,3 +245,63 @@ class TestBenchCommands:
             "--current", str(current),
         ]) == 1
         assert "no committed baseline" in capsys.readouterr().out
+
+
+class TestBackupSummary:
+    """Pins the backup-chain lines in ``repro stats --format summary``."""
+
+    BACKUP_LINE = re.compile(
+        r"^  backup: \d+ snapshots \(\d+ full, \d+ incremental\), "
+        r"wal \d+ records through seq -?\d+"
+        r"(, last (full|incremental) #\d+ at t=\d+\.\ds)?$"
+    )
+    VERIFIED_LINE = re.compile(
+        r"^  last verified restore: t=\d+\.\ds (ok|FAILED) "
+        r"\(snapshot \d+, \d+ wal records replayed\)$"
+    )
+
+    @pytest.fixture
+    def backed_rpc(self, live_rpc, tmp_path):
+        from repro.rpc import TieraClient
+
+        with TieraClient(live_rpc.host, live_rpc.port) as conn:
+            conn.backup(enable=True, root=str(tmp_path / "bk"))
+        return live_rpc
+
+    def _summary(self, rpc, capsys):
+        assert main([
+            "stats", "--port", str(rpc.port), "--format", "summary",
+        ]) == 0
+        return capsys.readouterr().out
+
+    def test_no_backup_store_prints_no_backup_lines(self, live_rpc, capsys):
+        out = self._summary(live_rpc, capsys)
+        assert "backup:" not in out
+        assert "last verified restore" not in out
+
+    def test_chain_line_shape_and_never_verified(self, backed_rpc, capsys):
+        from repro.rpc import TieraClient
+
+        with TieraClient(backed_rpc.host, backed_rpc.port) as conn:
+            conn.backup(action="snapshot", kind="full")
+        out = self._summary(backed_rpc, capsys)
+        lines = [ln for ln in out.splitlines() if ln.startswith("  backup: ")]
+        assert len(lines) == 1
+        assert self.BACKUP_LINE.match(lines[0]), lines[0]
+        assert "(1 full, 0 incremental)" in lines[0]
+        assert "  last verified restore: never" in out.splitlines()
+
+    def test_verified_restore_line_shape(self, backed_rpc, capsys):
+        from repro.rpc import TieraClient
+
+        with TieraClient(backed_rpc.host, backed_rpc.port) as conn:
+            conn.backup(action="snapshot", kind="full")
+            assert conn.backup(action="verify")["verify"]["ok"] is True
+        out = self._summary(backed_rpc, capsys)
+        lines = [
+            ln for ln in out.splitlines()
+            if ln.startswith("  last verified restore: ")
+        ]
+        assert len(lines) == 1
+        assert self.VERIFIED_LINE.match(lines[0]), lines[0]
+        assert " ok (" in lines[0]

@@ -1,0 +1,185 @@
+"""End-to-end point-in-time-restore acceptance flow.
+
+The full operational story in one scripted history: load a working set,
+take a full snapshot, mutate under incremental snapshots, pin a
+mid-history journal sequence as the restore target, crash the process,
+reopen a successor over the same backup store, and restore ``--to-seq``.
+The landing must be digest-exact against the pinned reference,
+fsck-clean, and a timer-scheduled verification drill must come back
+green through ``health()`` — and the whole thing must be a pure
+function of the seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.durability import fsck, reopen_instance, simulate_crash
+from repro.core.events import ActionEvent, TimerEvent
+from repro.core.policy import Policy, Rule
+from repro.core.responses import Store, VerifyBackup
+from repro.core.selectors import InsertObject
+from repro.core.server import TieraServer
+from repro.kvstore import MemoryStore
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.resources import RequestContext
+from repro.tiers.registry import TierRegistry
+
+SEED = 2014
+VERIFY_INTERVAL = 40.0
+
+
+def _rules():
+    return [
+        Rule(
+            ActionEvent("insert"),
+            [Store(InsertObject(), ("tier1", "tier2"))],
+            name="write-through",
+        ),
+        Rule(
+            TimerEvent(VERIFY_INTERVAL), [VerifyBackup()], name="verify-drill"
+        ),
+    ]
+
+
+def _put(cluster, server, key, data):
+    ctx = RequestContext(cluster.clock)
+    server.put_object(key, data, ctx=ctx).raise_for_error()
+    if ctx.time > cluster.clock.now():
+        cluster.clock.run_until(ctx.time)
+
+
+def _get(cluster, server, key):
+    ctx = RequestContext(cluster.clock)
+    result = server.get_object(key, ctx=ctx)
+    result.raise_for_error()
+    if ctx.time > cluster.clock.now():
+        cluster.clock.run_until(ctx.time)
+    return result.value
+
+
+def run_pitr_flow(root, seed=SEED):
+    """The scripted history; returns every fact a gate could want."""
+    store = MemoryStore()
+    cluster = Cluster(seed=seed)
+    registry = TierRegistry(cluster)
+    tiers = [
+        registry.create("Memcached", tier_name="tier1",
+                        size=8 * 1024 * 1024),
+        registry.create("EBS", tier_name="tier2", size=64 * 1024 * 1024),
+    ]
+    from repro.core.instance import TieraInstance
+
+    instance = TieraInstance(
+        name="pitr-e2e",
+        tiers=tiers,
+        policy=Policy(_rules()),
+        clock=cluster.clock,
+        metadata_store=store,
+    )
+    instance.enable_durability()
+    manager = instance.enable_backups(str(root))
+    server = TieraServer(instance)
+
+    for i in range(20):
+        _put(cluster, server, f"obj{i:02d}", b"gen0-%02d-" % i + b"x" * 512)
+    full = manager.snapshot(kind="full")
+
+    for i in range(0, 20, 4):
+        _put(cluster, server, f"obj{i:02d}", b"gen1-%02d-" % i + b"y" * 512)
+    inc = manager.snapshot()
+
+    # Writes past the last snapshot; pin the target mid-way, so a
+    # correct restore must replay some — not all — of the WAL tail.
+    _put(cluster, server, "obj01", b"gen2-01-" + b"z" * 512)
+    target_seq = manager.last_seq
+    target_digest = instance.state_digest(durable_only=True)
+    _put(cluster, server, "obj02", b"gen2-02-" + b"z" * 512)
+
+    tiers = list(instance.tiers.ordered())
+    eviction_chain = dict(instance.eviction_chain)
+    simulate_crash(instance)
+    successor, recovery = reopen_instance(
+        name=instance.name,
+        tiers=tiers,
+        policy=Policy(_rules()),
+        clock=cluster.clock,
+        metadata_store=store,
+        eviction_chain=eviction_chain,
+        backup_root=str(root),
+    )
+    server = TieraServer(successor)
+    manager = successor.backup
+
+    restore = manager.restore(to_seq=target_seq)
+    scrub = fsck(successor, repair=False)
+
+    # Let the scheduled verification drill fire once.
+    cluster.clock.run_until(cluster.clock.now() + VERIFY_INTERVAL + 1.0)
+    health = server.health()
+
+    facts = {
+        "full": full,
+        "incremental": inc,
+        "target_seq": target_seq,
+        "target_digest": target_digest,
+        "restore": restore,
+        "fsck": scrub,
+        "health_status": health["status"],
+        "verified": health["backup"]["last_verified_restore"],
+        "post_restore_values": {
+            "obj01": _get(cluster, server, "obj01"),
+            "obj02": _get(cluster, server, "obj02"),
+            "obj04": _get(cluster, server, "obj04"),
+        },
+        "final_digest": successor.state_digest(durable_only=True),
+    }
+    successor.shutdown()
+    return facts
+
+
+class TestPitrEndToEnd:
+    @pytest.fixture(scope="class")
+    def facts(self, tmp_path_factory):
+        return run_pitr_flow(tmp_path_factory.mktemp("pitr"))
+
+    def test_incremental_chains_off_the_full(self, facts):
+        assert facts["incremental"]["kind"] == "incremental"
+        assert facts["incremental"]["parent"] == facts["full"]["id"]
+        assert facts["incremental"]["bytes"] < facts["full"]["bytes"]
+
+    def test_restore_lands_exactly_on_the_pinned_seq(self, facts):
+        restore = facts["restore"]
+        assert restore["to_seq"] == facts["target_seq"]
+        assert restore["base_snapshot"] == facts["incremental"]["id"]
+        assert restore["replayed"] > 0, "the WAL tail must be replayed"
+        assert restore["durable_digest"] == facts["target_digest"]
+
+    def test_restored_values_match_the_pinned_history(self, facts):
+        values = facts["post_restore_values"]
+        # obj01's gen2 write is at/before the target: it survives.
+        assert values["obj01"].startswith(b"gen2-01-")
+        # obj02's gen2 write came after the target: rolled back to gen0.
+        assert values["obj02"].startswith(b"gen0-02-")
+        # obj04 was rewritten in the incremental's wave.
+        assert values["obj04"].startswith(b"gen1-04-")
+
+    def test_restored_state_is_fsck_clean(self, facts):
+        assert facts["fsck"]["clean"] is True
+        assert facts["fsck"]["counts"]["findings"] == 0
+
+    def test_scheduled_verification_reports_green(self, facts):
+        verified = facts["verified"]
+        assert verified is not None, "the timer drill must have fired"
+        assert verified["ok"] is True
+        assert verified["fsck_clean"] is True
+        assert facts["health_status"] == "ok"
+
+    def test_flow_is_a_pure_function_of_the_seed(self, facts,
+                                                 tmp_path_factory):
+        again = run_pitr_flow(tmp_path_factory.mktemp("pitr-again"))
+        assert again["target_seq"] == facts["target_seq"]
+        assert again["target_digest"] == facts["target_digest"]
+        assert again["restore"] == facts["restore"]
+        assert again["final_digest"] == facts["final_digest"]
+        assert again["post_restore_values"] == facts["post_restore_values"]

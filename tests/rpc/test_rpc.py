@@ -255,3 +255,81 @@ class TestDurabilityVerbs:
         assert '"verified": true' in capsys.readouterr().out
         with TieraClient(live_server.host, live_server.port) as conn:
             assert conn.get("cli-obj") == b"cli bytes"
+
+
+class TestBackupVerbs:
+    def test_disabled_store_reports_disabled(self, client):
+        assert client.backup() == {"enabled": False}
+
+    def test_lifecycle_round_trip(self, client, tmp_path):
+        client.put("obj0", b"v0" * 64)
+        status = client.backup(enable=True, root=str(tmp_path / "bk"))
+        assert status["enabled"] is True
+
+        full = client.backup(action="snapshot", kind="full")["snapshot"]
+        assert full["kind"] == "full"
+        client.put("obj1", b"v1" * 64)
+        inc = client.backup(action="snapshot")["snapshot"]
+        assert inc["kind"] == "incremental"
+        assert inc["parent"] == full["id"]
+
+        listing = client.backup(action="list")["snapshots"]
+        assert [e["id"] for e in listing] == [full["id"], inc["id"]]
+
+        verify = client.backup(action="verify")["verify"]
+        assert verify["ok"] is True
+
+        frozen = client.backup(
+            action="mark_immutable", snapshot_id=full["id"]
+        )["snapshot"]
+        assert frozen["immutable"] is True
+        # keep_last=1 cannot orphan the chain: nothing is pruned.
+        assert client.backup(action="prune", keep_last=1)["prune"][
+            "pruned"
+        ] == []
+
+        status = client.backup()["status"]
+        assert status["snapshots"] == 2
+        assert status["last_verified_restore"]["ok"] is True
+
+    def test_restore_to_seq_over_rpc(self, client, tmp_path):
+        client.backup(enable=True, root=str(tmp_path / "bk"))
+        client.put("k", b"v1" * 64)
+        client.backup(action="snapshot", kind="full")
+        client.put("k", b"v2" * 64)
+        target = client.backup()["status"]["wal"]["last_seq"]
+        client.put("k", b"v3" * 64)
+        restore = client.backup(action="restore", to_seq=target)["restore"]
+        assert restore["to_seq"] == target
+        assert restore["replayed"] > 0
+        assert client.get("k") == b"v2" * 64
+
+    def test_backup_errors_have_a_stable_code(self, client, tmp_path):
+        client.backup(enable=True, root=str(tmp_path / "bk"))
+        with pytest.raises(RpcError) as excinfo:
+            client.backup(action="restore", to_seq=10 ** 9)
+        assert excinfo.value.code == "BACKUP_ERROR"
+
+    def test_cli_backup_commands(self, live_server, capsys, tmp_path):
+        from repro.cli import main
+
+        port = str(live_server.port)
+        # Not enabled yet: a clean error, not a traceback.
+        assert main(["backup", "list", "--port", port]) == 1
+        assert "not enabled" in capsys.readouterr().err
+
+        with TieraClient(live_server.host, live_server.port) as conn:
+            conn.put("cli-obj", b"cli bytes")
+            conn.backup(enable=True, root=str(tmp_path / "bk"))
+
+        assert main([
+            "backup", "snapshot", "--port", port, "--kind", "full",
+        ]) == 0
+        assert '"kind": "full"' in capsys.readouterr().out
+        assert main(["backup", "list", "--port", port]) == 0
+        assert "#1 full:" in capsys.readouterr().out
+        assert main(["backup", "verify", "--port", port]) == 0
+        assert '"ok": true' in capsys.readouterr().out
+        assert main(["backup", "prune", "--port", port,
+                     "--keep-last", "5"]) == 0
+        assert '"pruned": []' in capsys.readouterr().out
