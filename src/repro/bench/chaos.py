@@ -249,7 +249,10 @@ def run_chaos(
 
 
 def run_matrix(
-    scenarios=("transient-errors", "latency-spike", "flapping", "bitrot"),
+    scenarios=(
+        "transient-errors", "latency-spike", "flapping", "bitrot",
+        "shard-loss",
+    ),
     deployments=DEPLOYMENTS,
     seed: int = 2014,
     resilient_modes=(False, True),

@@ -1,0 +1,376 @@
+"""Deterministic shard-failover harness for the replicated cluster.
+
+Two legs, shared by ``benchmarks/bench_shard_failover.py``, the
+``repro cluster`` CLI subcommand, the determinism tests, and the CI
+``cluster-resilience`` job (which byte-diffs two same-seed runs):
+
+* :func:`run_failover` — build an R-replicated shard cluster, kill one
+  shard mid-workload with the canned ``shard-loss`` scenario (hard
+  outage, then flapping recovery), and measure availability, acked-
+  write loss, hinted-handoff drain, and anti-entropy convergence.  The
+  acceptance bar: availability ≥ 99.9 % and **zero** acked writes lost.
+* :func:`run_migration_crash` — crash the migrator at every
+  ``cluster.*`` crash boundary of a journaled ``add_shard``, rebuild
+  the router over the same journal store, :meth:`recover`, and verify
+  cluster fsck comes back clean with every key still readable.
+
+Everything derives from the seeded RNGs and the virtual clock; a report
+is a pure function of its arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.chaos import _OpStats
+from repro.bench.runner import run_closed_loop
+from repro.core.cluster import ClusterConfig
+from repro.core.server import TieraServer
+from repro.core.sharding import ShardedTieraServer
+from repro.core.templates import write_through_instance
+from repro.kvstore.store import MemoryStore
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.errors import ProcessCrash
+from repro.simcloud.faults import CrashPointInjector, shard_loss
+from repro.simcloud.resources import RequestContext
+from repro.workloads.ycsb import record_payload
+
+#: Virtual seconds the clock keeps running after the driven window so
+#: flap auto-clears fire and the last up-transition's heal runs.
+SETTLE_SECONDS = 60.0
+
+
+def build_shard_cluster(
+    shards: int = 4,
+    seed: int = 2014,
+    config: Optional[ClusterConfig] = None,
+    journal_store=None,
+    mem: str = "64M",
+    ebs: str = "64M",
+):
+    """A seeded simcloud with ``shards`` write-through Tiera shards
+    behind a replicated router.  Returns (cluster, router, node map,
+    registry) — the node map gives each shard's simcloud node names,
+    the targets a chaos scenario needs to take the whole shard down;
+    the registry is shared so later shards get unique node names."""
+    from repro.tiers.registry import TierRegistry
+
+    cluster = Cluster(seed=seed)
+    registry = TierRegistry(cluster)
+    servers: Dict[str, TieraServer] = {}
+    shard_nodes: Dict[str, List[str]] = {}
+    for index in range(shards):
+        instance = write_through_instance(registry, mem=mem, ebs=ebs)
+        name = f"shard{index}"
+        servers[name] = TieraServer(instance)
+        shard_nodes[name] = sorted(
+            {tier.service.node.name for tier in instance.tiers}
+        )
+    router = ShardedTieraServer(
+        servers,
+        replication=config if config is not None else ClusterConfig(),
+        journal_store=journal_store,
+    )
+    return cluster, router, shard_nodes, registry
+
+
+def _cluster_digest(router: ShardedTieraServer) -> str:
+    parts = [
+        f"{name}:{router.shards[name].instance.state_digest()}"
+        for name in sorted(router.shards)
+    ]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def run_failover(
+    seed: int = 2014,
+    shards: int = 4,
+    replication_factor: int = 3,
+    write_quorum: int = 2,
+    victim_index: int = 1,
+    records: int = 48,
+    record_size: int = 2048,
+    duration: float = 240.0,
+    clients: int = 4,
+    read_fraction: float = 0.5,
+    think_time: float = 0.02,
+    outage_at: float = 60.0,
+    outage: float = 90.0,
+    flap_duration: float = 40.0,
+) -> Dict[str, object]:
+    """One deterministic shard-loss run; returns the JSON-able report."""
+    config = ClusterConfig(
+        replication_factor=replication_factor,
+        write_quorum=write_quorum,
+        heartbeat_interval=5.0,
+        anti_entropy_interval=45.0,
+    )
+    cluster, router, shard_nodes, _ = build_shard_cluster(
+        shards=shards, seed=seed, config=config
+    )
+    manager = router.cluster
+    victim = f"shard{victim_index % shards}"
+
+    # Load phase: populate before any fault is active.  Acked versions
+    # are the loss-check ledger: a write counts only once its quorum
+    # acked it.
+    load_ctx = RequestContext(cluster.clock)
+    acked: Dict[int, int] = {}
+    attempted: Dict[int, List[int]] = {}
+    for key in range(records):
+        router.put_object(
+            f"user{key:06d}", record_payload(key, 0, record_size),
+            ctx=load_ctx,
+        ).raise_for_error()
+        acked[key] = 0
+        attempted[key] = [0]
+    cluster.clock.run_until(load_ctx.time)
+
+    scenario = shard_loss(
+        targets=tuple(f"node:{n}" for n in shard_nodes[victim]),
+        at=outage_at,
+        outage=outage,
+        flap_duration=flap_duration,
+    )
+    cluster.chaos(scenario, at=0.0)
+
+    stats = _OpStats()
+    envelopes: List[List[object]] = []
+    wl_rng = random.Random((seed << 4) ^ 0xC1A5)
+    base = cluster.clock.now()
+
+    def op_fn(client: int, ctx: RequestContext) -> str:
+        key = wl_rng.randrange(records)
+        name = f"user{key:06d}"
+        write = wl_rng.random() >= read_fraction
+        started = ctx.time
+        if write:
+            version = attempted[key][-1] + 1
+            attempted[key].append(version)
+            result = router.put_object(
+                name, record_payload(key, version, record_size), ctx=ctx
+            )
+            if result.ok:
+                acked[key] = version
+        else:
+            result = router.get_object(name, ctx=ctx)
+        stats.record(
+            result.op, ctx.time, result.ok, ctx.time - started,
+            result.exception,
+        )
+        envelopes.append(
+            [result.op, result.key, result.ok, result.error,
+             round(result.latency, 9)]
+        )
+        if not result.ok:
+            # run_closed_loop counts raised ops as errors; keep its
+            # accounting aligned with the envelope log.
+            result.raise_for_error()
+        return result.op
+
+    run = run_closed_loop(
+        cluster.clock,
+        clients=clients,
+        duration=duration,
+        op_fn=op_fn,
+        think_time=think_time,
+    )
+
+    # Settle: flap windows auto-clear, the last up-transition heals.
+    cluster.clock.run_until(cluster.clock.now() + SETTLE_SECONDS)
+
+    # Converge: drain hints and re-run anti-entropy until a sweep finds
+    # nothing divergent (bounded so a bug cannot loop forever).
+    convergence_rounds = 0
+    final_sweep = manager.anti_entropy()
+    while (len(manager.hints) or final_sweep["divergent"]) \
+            and convergence_rounds < 10:
+        convergence_rounds += 1
+        manager.replay_hints()
+        cluster.clock.run_until(cluster.clock.now() + 1.0)
+        final_sweep = manager.anti_entropy()
+    manager.stop()
+
+    # Loss check: every key's final value must be an attempted version
+    # at least as new as the last *acked* one (an unacked write that
+    # reached a quorum-minority may legitimately win anti-entropy).
+    verify_ctx = RequestContext(cluster.clock)
+    lost: List[str] = []
+    for key in range(records):
+        name = f"user{key:06d}"
+        result = router.get_object(name, ctx=verify_ctx)
+        if not result.ok:
+            lost.append(name)
+            continue
+        candidates = [v for v in attempted[key] if v >= acked[key]]
+        if not any(
+            result.value == record_payload(key, v, record_size)
+            for v in candidates
+        ):
+            lost.append(name)
+
+    envelope_blob = json.dumps(envelopes, separators=(",", ":"))
+    fsck = manager.fsck()
+    report: Dict[str, object] = {
+        "seed": seed,
+        "shards": shards,
+        "victim": victim,
+        "config": config.describe(),
+        "scenario": scenario.describe(),
+        "workload": {
+            "records": records,
+            "record_size": record_size,
+            "duration": duration,
+            "clients": clients,
+            "read_fraction": read_fraction,
+            "operations": run.operations,
+        },
+        "availability": stats.availability(),
+        "latency_seconds": stats.latency_summary(),
+        "errors_by_type": dict(sorted(stats.errors_by_type.items())),
+        "mttr": stats.mttr(end=cluster.clock.now() - base),
+        "acked_writes": sum(1 for versions in acked.values() if versions),
+        "acked_write_loss": len(lost),
+        "lost_keys": lost,
+        "hints": {
+            "recorded": manager.hints.recorded,
+            "replayed": manager.hints.replayed,
+            "pending": len(manager.hints),
+        },
+        "anti_entropy": {
+            "runs": len(manager.anti_entropy_runs),
+            "final_divergent": final_sweep["divergent"],
+            "repairs": sum(
+                r["repairs"] for r in manager.anti_entropy_runs
+            ),
+            "convergence_rounds": convergence_rounds,
+        },
+        "detector_transitions": list(manager.detector.transitions),
+        "replay_runs": list(manager.replay_runs),
+        "envelopes": {
+            "count": len(envelopes),
+            "digest": hashlib.sha256(envelope_blob.encode()).hexdigest(),
+        },
+        "fsck": {"clean": fsck["clean"], "findings": len(fsck["findings"])},
+        "state_digest": _cluster_digest(router),
+    }
+    return report
+
+
+def run_migration_crash(
+    seed: int = 2014,
+    shards: int = 3,
+    records: int = 16,
+    record_size: int = 1024,
+    replication_factor: int = 2,
+) -> Dict[str, object]:
+    """Crash a journaled ``add_shard`` at every cluster boundary.
+
+    For each armed index of the reference run's crash-point schedule:
+    build the same cluster, load the same keys, arm the injector, let
+    :class:`~repro.simcloud.errors.ProcessCrash` kill the migration,
+    then rebuild the router over the *same shards and journal store*,
+    :meth:`recover`, and check cluster fsck plus key readability.  The
+    sweep covers first/middle/last visits of every named point."""
+    config = ClusterConfig(
+        replication_factor=replication_factor, write_quorum=1,
+        anti_entropy_interval=0.0,
+    )
+
+    def build(journal_store):
+        cluster, router, _, registry = build_shard_cluster(
+            shards=shards, seed=seed, config=config,
+            journal_store=journal_store,
+        )
+        joining = TieraServer(write_through_instance(registry))
+        ctx = RequestContext(cluster.clock)
+        for key in range(records):
+            router.put_object(
+                f"mig{key:05d}", record_payload(key, 0, record_size),
+                ctx=ctx,
+            ).raise_for_error()
+        cluster.clock.run_until(ctx.time)
+        return cluster, router, joining
+
+    # Reference run: record the crash-point schedule without crashing.
+    cluster, router, joining = build(MemoryStore())
+    probe = CrashPointInjector()
+    router.cluster.crash_points = probe
+    router.add_shard("joiner", joining)
+    reference_fsck = router.cluster.fsck()
+    router.cluster.stop()
+    schedule = list(probe.schedule)
+
+    # Sweep first, middle, and last visit of each named point.
+    by_point: Dict[str, List[int]] = {}
+    for index, point in schedule:
+        by_point.setdefault(point, []).append(index)
+    armed: List[Tuple[int, str]] = []
+    for point in sorted(by_point):
+        visits = by_point[point]
+        for index in {visits[0], visits[len(visits) // 2], visits[-1]}:
+            armed.append((index, point))
+    armed.sort()
+
+    swept: List[Dict[str, object]] = []
+    for index, point in armed:
+        store = MemoryStore()
+        cluster, router, joining = build(store)
+        injector = CrashPointInjector().arm_index(index)
+        router.cluster.crash_points = injector
+        crashed = False
+        try:
+            router.add_shard("joiner", joining)
+        except ProcessCrash:
+            crashed = True
+            cluster.clock.cancel_all()  # the dead migrator's timers die too
+        entry: Dict[str, object] = {
+            "index": index,
+            "point": point,
+            "crashed": crashed,
+        }
+        if crashed:
+            # Rebuild the control layer over the surviving shards and
+            # the same journal, exactly like reopening after a crash.
+            shards_after = dict(router.shards)
+            shards_after["joiner"] = joining
+            reopened = ShardedTieraServer(
+                shards_after, replication=config, journal_store=store
+            )
+            recovery = reopened.cluster.recover()
+            fsck = reopened.cluster.fsck()
+            reopened.cluster.stop()
+            verify = reopened
+            entry["recovery"] = {
+                "redone": recovery["redone"],
+                "confirmed": recovery["confirmed"],
+                "rebalanced": recovery["rebalanced"],
+            }
+        else:
+            fsck = router.cluster.fsck()
+            router.cluster.stop()
+            verify = router
+        ctx = RequestContext(cluster.clock)
+        readable = all(
+            verify.get_object(f"mig{key:05d}", ctx=ctx).ok
+            for key in range(records)
+        )
+        entry["fsck_clean"] = fsck["clean"]
+        entry["keys_readable"] = readable
+        entry["ok"] = fsck["clean"] and readable
+        swept.append(entry)
+
+    return {
+        "seed": seed,
+        "shards": shards,
+        "records": records,
+        "config": config.describe(),
+        "crash_points_visited": len(schedule),
+        "reference_fsck_clean": reference_fsck["clean"],
+        "swept": swept,
+        "clean": reference_fsck["clean"]
+        and all(entry["ok"] for entry in swept),
+    }

@@ -484,6 +484,56 @@ def cmd_crashsweep(options) -> int:
     return 0 if report["summary"]["clean"] else 1
 
 
+def cmd_cluster(options) -> int:
+    action = options.cluster_action
+    if action in ("failover", "migrate-crash"):
+        from repro.bench.failover import run_failover, run_migration_crash
+
+        if action == "failover":
+            report = run_failover(
+                seed=options.seed,
+                records=options.records,
+                duration=options.duration,
+                clients=options.clients,
+            )
+            print(json.dumps(report, indent=2, sort_keys=True))
+            ok = (
+                not report["acked_write_loss"]
+                and not report["hints"]["pending"]
+                and not report["anti_entropy"]["final_divergent"]
+                and report["fsck"]["clean"]
+            )
+            return 0 if ok else 1
+        report = run_migration_crash(seed=options.seed)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["clean"] else 1
+
+    # Live actions go over RPC to a serving shard router.
+    if options.port is None:
+        print(f"cluster {action} needs --port (a running `repro serve`)",
+              file=sys.stderr)
+        return 1
+    client = _connect(options)
+    if client is None:
+        return 1
+    params: Dict[str, object] = {}
+    if action == "fsck" and options.repair:
+        params["repair"] = True
+    if action == "replay" and options.target is not None:
+        params["target"] = options.target
+    with client:
+        result = client.cluster(
+            action=action.replace("-", "_"), **params
+        )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if not result.get("enabled"):
+        print("server is not a replicated shard cluster", file=sys.stderr)
+        return 1
+    if action == "fsck":
+        return 0 if result["fsck"]["clean"] else 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Tiera middleware (Middleware 2014 reproduction)"
@@ -700,6 +750,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="sweep only the first N crash points",
     )
     crashsweep.set_defaults(func=cmd_crashsweep)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="replicated shard cluster: offline failover/migration drills "
+             "or live status over RPC",
+    )
+    cluster.add_argument(
+        "cluster_action", nargs="?", default="failover",
+        choices=("failover", "migrate-crash", "status", "fsck", "replay",
+                 "anti-entropy"),
+        help="failover/migrate-crash run offline simulations; "
+             "status/fsck/replay/anti-entropy talk to a running router",
+    )
+    cluster.add_argument("--seed", type=int, default=2014)
+    cluster.add_argument("--records", type=int, default=24)
+    cluster.add_argument("--duration", type=float, default=150.0)
+    cluster.add_argument("--clients", type=int, default=3)
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--port", type=int, default=None,
+        help="RPC port of a running shard router (live actions only)",
+    )
+    cluster.add_argument(
+        "--repair", action="store_true",
+        help="with fsck: fix findings, not just report",
+    )
+    cluster.add_argument(
+        "--target", default=None,
+        help="with replay: drain hints for this shard only",
+    )
+    cluster.set_defaults(func=cmd_cluster)
 
     options = parser.parse_args(argv)
     try:

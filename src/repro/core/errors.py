@@ -115,6 +115,57 @@ class BackupError(TieraError):
     code = "BACKUP_ERROR"
 
 
+class EmptyRingError(TieraError):
+    """The consistent-hash ring holds no shards, so no key has an owner.
+
+    Raised by ``owner()``/``owners()`` on an empty ring and — so the
+    mistake surfaces at the mutation, not at the next lookup — by
+    ``remove()`` when it would take the last shard off the ring."""
+
+    code = "EMPTY_RING"
+
+
+class NoQuorumError(TieraError):
+    """A replicated write could not reach its configured write quorum.
+
+    ``causes`` carries one ``(shard, exception)`` pair per replica
+    attempt that failed, mirroring :class:`TierUnavailableError`."""
+
+    code = "NO_QUORUM"
+
+    def __init__(self, key: str, acked: int, needed: int, causes=()):
+        self.key = key
+        self.acked = acked
+        self.needed = needed
+        self.causes = list(causes)
+        detail = "; ".join(
+            f"{shard}: {type(exc).__name__}: {exc}"
+            for shard, exc in self.causes
+        )
+        super().__init__(
+            f"write of {key!r} acked by {acked}/{needed} required replicas"
+            + (f": {detail}" if detail else "")
+        )
+
+
+class ClusterUnavailableError(TieraError):
+    """No replica of the key's owner set could serve the request."""
+
+    code = "CLUSTER_UNAVAILABLE"
+
+    def __init__(self, key: str, detail: str = "", causes=()):
+        self.key = key
+        self.causes = list(causes)
+        if self.causes and not detail:
+            detail = "; ".join(
+                f"{shard}: {type(exc).__name__}: {exc}"
+                for shard, exc in self.causes
+            )
+        super().__init__(
+            f"no replica can serve {key!r}" + (f": {detail}" if detail else "")
+        )
+
+
 class BackpressureError(TieraError):
     """Admission control refused the work: too many operations in
     flight.  Back off and retry; nothing was attempted."""

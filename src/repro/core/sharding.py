@@ -25,8 +25,10 @@ from repro.core.api import (
     BatchResult,
     OpResult,
 )
-from repro.core.errors import TieraError
+from repro.core.cluster import ClusterConfig, ClusterManager
+from repro.core.errors import EmptyRingError, TieraError
 from repro.core.server import TieraServer
+from repro.obs.hub import Observability
 from repro.simcloud.resources import RequestContext
 
 VNODES = 64  # virtual nodes per shard for even key spread
@@ -55,17 +57,41 @@ class ConsistentHashRing:
     def remove(self, shard: str) -> None:
         if shard not in self._shards:
             raise KeyError(f"no shard {shard!r}")
+        if len(self._shards) == 1:
+            # Fail at the mutation, not at the next owner() lookup: an
+            # empty ring can route nothing.
+            raise EmptyRingError(
+                f"removing {shard!r} would leave the ring empty"
+            )
         self._shards.discard(shard)
         self._points = [p for p in self._points if p[1] != shard]
 
     def owner(self, key: str) -> str:
         if not self._points:
-            raise TieraError("the ring has no shards")
+            raise EmptyRingError("the ring has no shards")
         position = _ring_position(key)
         index = bisect.bisect_right(self._points, (position, chr(0x10FFFF)))
         if index == len(self._points):
             index = 0
         return self._points[index][1]
+
+    def owners(self, key: str, n: int) -> List[str]:
+        """The first ``n`` *distinct* shards clockwise from the key's
+        ring position — the key's replica set (capped at the shard
+        count).  ``owners(key, 1)[0] == owner(key)``."""
+        if not self._points:
+            raise EmptyRingError("the ring has no shards")
+        n = min(n, len(self._shards))
+        position = _ring_position(key)
+        index = bisect.bisect_right(self._points, (position, chr(0x10FFFF)))
+        out: List[str] = []
+        for step in range(len(self._points)):
+            shard = self._points[(index + step) % len(self._points)][1]
+            if shard not in out:
+                out.append(shard)
+                if len(out) == n:
+                    break
+        return out
 
     def shards(self) -> List[str]:
         return sorted(self._shards)
@@ -75,9 +101,15 @@ class ShardedTieraServer:
     """PUT/GET over a consistent-hash ring of Tiera instances.
 
     Each shard is an ordinary :class:`~repro.core.server.TieraServer`
-    whose instance runs its own policy; the sharding layer only routes.
-    Adding or removing a shard triggers a minimal migration: exactly the
-    keys whose ring owner changed are moved.
+    whose instance runs its own policy; by default the sharding layer
+    only routes.  Adding or removing a shard triggers a minimal
+    migration: exactly the keys whose ring owner changed are moved.
+
+    Built with ``replication=ClusterConfig(...)``, the router grows a
+    :class:`~repro.core.cluster.ClusterManager` and the data path
+    becomes replicated and self-healing: R copies per key, quorum
+    writes, checksum-verified failover reads, hinted handoff, Merkle
+    anti-entropy, and journaled crash-safe migration (docs/CLUSTER.md).
     """
 
     def __init__(
@@ -85,6 +117,9 @@ class ShardedTieraServer:
         shards: Dict[str, TieraServer],
         vnodes: int = VNODES,
         max_inflight: int = api.DEFAULT_MAX_INFLIGHT,
+        obs: Optional[Observability] = None,
+        replication: Optional[ClusterConfig] = None,
+        journal_store=None,
     ):
         if not shards:
             raise ValueError("need at least one shard")
@@ -95,14 +130,30 @@ class ShardedTieraServer:
             self.ring.add(name)
         first = next(iter(self.shards.values()))
         self.clock = first.clock
-        # The router records into the first shard's hub: one tracer is
-        # enough to hold a routed batch's whole span tree.
-        self.obs = first.obs
+        # The router gets its own hub (or an explicitly shared one) so
+        # routed traffic no longer pollutes the first shard's metrics
+        # and traces; per-shard routing shows up under
+        # ``tiera_shard_ops_total{shard=...}``.
+        self.obs = obs if obs is not None else Observability(self.clock)
+        self._shard_ops = self.obs.metrics.counter(
+            "tiera_shard_ops_total", "Operations routed, by shard and op."
+        )
         self.admission = AdmissionController(max_inflight)
         self.migrations = 0
+        self.cluster: Optional[ClusterManager] = None
+        if replication is not None:
+            self.cluster = ClusterManager(
+                self, replication, journal_store=journal_store
+            )
+            self.cluster.start()
 
     def _shard_for(self, key: str) -> TieraServer:
         return self.shards[self.ring.owner(key)]
+
+    def _route(self, key: str, op: str) -> TieraServer:
+        shard = self.ring.owner(key)
+        self._shard_ops.inc(shard=shard, op=op)
+        return self.shards[shard]
 
     # -- the StorageAPI surface, routed -------------------------------------
 
@@ -115,7 +166,11 @@ class ShardedTieraServer:
         ctx: Optional[RequestContext] = None,
         trace: bool = False,
     ) -> OpResult:
-        return self._shard_for(key).put_object(
+        if self.cluster is not None:
+            return self.cluster.put_object(
+                key, data, tags=tags, ctx=ctx, trace=trace
+            )
+        return self._route(key, api.PUT).put_object(
             key, data, tags=tags, ctx=ctx, trace=trace
         )
 
@@ -127,7 +182,11 @@ class ShardedTieraServer:
         ctx: Optional[RequestContext] = None,
         trace: bool = False,
     ) -> OpResult:
-        return self._shard_for(key).get_object(
+        if self.cluster is not None:
+            return self.cluster.get_object(
+                key, prefer=prefer, ctx=ctx, trace=trace
+            )
+        return self._route(key, api.GET).get_object(
             key, prefer=prefer, ctx=ctx, trace=trace
         )
 
@@ -138,7 +197,11 @@ class ShardedTieraServer:
         ctx: Optional[RequestContext] = None,
         trace: bool = False,
     ) -> OpResult:
-        return self._shard_for(key).delete_object(key, ctx=ctx, trace=trace)
+        if self.cluster is not None:
+            return self.cluster.delete_object(key, ctx=ctx, trace=trace)
+        return self._route(key, api.DELETE).delete_object(
+            key, ctx=ctx, trace=trace
+        )
 
     def execute_batch(
         self,
@@ -159,6 +222,10 @@ class ShardedTieraServer:
         the batch root and a ``shard`` child per sub-batch; each shard's
         per-item ``op`` spans nest under its shard span.
         """
+        if self.cluster is not None:
+            return self.cluster.execute_batch(
+                ops, parallelism=parallelism, ctx=ctx, trace=trace
+            )
         ops = list(ops)
         if parallelism < 1:
             raise ValueError("parallelism must be at least 1")
@@ -171,9 +238,9 @@ class ShardedTieraServer:
         try:
             groups: Dict[str, List[Tuple[int, BatchOp]]] = {}
             for index, op in enumerate(ops):
-                groups.setdefault(self.ring.owner(op.key), []).append(
-                    (index, op)
-                )
+                owner = self.ring.owner(op.key)
+                self._shard_ops.inc(shard=owner, op=op.op)
+                groups.setdefault(owner, []).append((index, op))
             results: List[Optional[OpResult]] = [None] * len(ops)
             branches = ctx.scatter()
             for shard_name in sorted(groups):
@@ -259,7 +326,14 @@ class ShardedTieraServer:
         """Deprecated: use :meth:`put_object`.  Signature and return
         shape now match :meth:`TieraServer.put` (this façade used to
         take ``tags=()`` and lacked ``trace``)."""
-        return self._shard_for(key).put(
+        if self.cluster is not None:
+            ctx = ctx if ctx is not None else RequestContext(self.clock)
+            self.cluster.put_object(
+                key, data, tags=list(tags) if tags else None, ctx=ctx,
+                trace=trace,
+            ).raise_for_error()
+            return ctx
+        return self._route(key, api.PUT).put(
             key, data, tags=tuple(tags) if tags else (), ctx=ctx, trace=trace
         )
 
@@ -271,7 +345,15 @@ class ShardedTieraServer:
         trace: bool = False,
     ) -> bytes:
         """Deprecated: use :meth:`get_object`."""
-        return self._shard_for(key).get(key, ctx=ctx, prefer=prefer, trace=trace)
+        if self.cluster is not None:
+            result = self.cluster.get_object(
+                key, prefer=prefer, ctx=ctx, trace=trace
+            )
+            result.raise_for_error()
+            return result.value
+        return self._route(key, api.GET).get(
+            key, ctx=ctx, prefer=prefer, trace=trace
+        )
 
     def delete(
         self,
@@ -280,19 +362,29 @@ class ShardedTieraServer:
         trace: bool = False,
     ) -> RequestContext:
         """Deprecated: use :meth:`delete_object`."""
-        return self._shard_for(key).delete(key, ctx=ctx, trace=trace)
+        if self.cluster is not None:
+            ctx = ctx if ctx is not None else RequestContext(self.clock)
+            self.cluster.delete_object(
+                key, ctx=ctx, trace=trace
+            ).raise_for_error()
+            return ctx
+        return self._route(key, api.DELETE).delete(key, ctx=ctx, trace=trace)
 
     def contains(self, key: str) -> bool:
+        if self.cluster is not None:
+            return self.cluster.contains(key)
         return self._shard_for(key).contains(key)
 
     def stat(self, key: str):
+        if self.cluster is not None:
+            return self.cluster.stat(key)
         return self._shard_for(key).stat(key)
 
     def keys(self) -> List[str]:
-        out: List[str] = []
+        seen = set()
         for server in self.shards.values():
-            out.extend(server.keys())
-        return sorted(out)
+            seen.update(server.keys())
+        return sorted(seen)
 
     def shard_of(self, key: str) -> str:
         return self.ring.owner(key)
@@ -303,11 +395,42 @@ class ShardedTieraServer:
             for name, server in self.shards.items()
         }
 
+    def health(self) -> Dict[str, object]:
+        """Router-level liveness summary: per-shard status plus (when
+        replication is on) the cluster layer's detector/hints/journal
+        view."""
+        shard_health: Dict[str, object] = {}
+        status = "ok"
+        for name in sorted(self.shards):
+            entry = self.shards[name].health()
+            shard_health[name] = {
+                "status": entry["status"],
+                "objects": entry["objects"],
+            }
+            if entry["status"] != "ok" and status == "ok":
+                status = "degraded"
+        out: Dict[str, object] = {
+            "time": self.clock.now(),
+            "status": status,
+            "shards": shard_health,
+            "migrations": self.migrations
+            if self.cluster is None else self.cluster.migrations,
+        }
+        if self.cluster is not None:
+            summary = self.cluster.summary()
+            out["cluster"] = summary
+            if any(state != "up" for state in summary["shards"].values()):
+                out["status"] = "degraded"
+        return out
+
     # -- elasticity ---------------------------------------------------------
 
     def add_shard(self, name: str, server: TieraServer) -> int:
         """Join a shard and migrate the keys it now owns; returns the
-        number of objects moved."""
+        number of objects moved.  With replication on, the migration is
+        journaled and crash-safe (see ClusterManager.add_shard)."""
+        if self.cluster is not None:
+            return self.cluster.add_shard(name, server)
         before = {key: self.ring.owner(key) for key in self.keys()}
         self.shards[name] = server
         self.ring.add(name)
@@ -315,6 +438,10 @@ class ShardedTieraServer:
 
     def remove_shard(self, name: str) -> int:
         """Drain and remove a shard; returns the objects moved off it."""
+        if self.cluster is not None:
+            moved = self.cluster.remove_shard(name)
+            self.migrations = self.cluster.migrations
+            return moved
         if name not in self.shards:
             raise KeyError(f"no shard {name!r}")
         if len(self.shards) == 1:

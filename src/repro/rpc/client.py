@@ -264,6 +264,15 @@ class TieraClient:
         attached (pass ``enable=True, root="…"`` to attach one)."""
         return self._call("backup", action=action, **params)
 
+    def cluster(self, action: str = "status", **params) -> Dict[str, Any]:
+        """Drive the replicated shard cluster, when the server is one.
+
+        ``action`` is ``status`` / ``fsck`` / ``replay`` /
+        ``anti_entropy``; remaining keyword arguments pass through
+        (``repair=``, ``target=``).  Returns ``{"enabled": False}``
+        against a single instance or a replication-off router."""
+        return self._call("cluster", action=action, **params)
+
     def resilience(
         self, enable: Optional[bool] = None, replay: bool = False
     ) -> Dict[str, Any]:

@@ -38,7 +38,13 @@ class TieraRpcServer:
     ):
         self.tiera = tiera
         if pool_size is None:
-            pool_size = tiera.instance.control.request_pool_size
+            # Shard routers have no single control layer; fall back to
+            # the control-layer default pool size for those.
+            instance = getattr(tiera, "instance", None)
+            pool_size = (
+                instance.control.request_pool_size
+                if instance is not None else 8
+            )
         self._pool = ThreadPoolExecutor(
             max_workers=pool_size, thread_name_prefix="tiera-rpc"
         )
@@ -114,7 +120,9 @@ class TieraRpcServer:
                 result = handler(params)
         except (TieraError, SimCloudError) as exc:
             return _error(request_id, type(exc).__name__, str(exc), code_for(exc))
-        except (KeyError, ValueError, TypeError) as exc:
+        except (KeyError, ValueError, TypeError, AttributeError) as exc:
+            # AttributeError covers instance-only verbs called against a
+            # shard router (which has no single ``.instance``).
             return _error(request_id, "BadRequest", str(exc), BAD_REQUEST)
         return {"id": request_id, "result": result}
 
@@ -381,6 +389,31 @@ class TieraRpcServer:
         if action == "status":
             return {"enabled": True, "status": manager.health_summary()}
         raise ValueError(f"unknown backup action {action!r}")
+
+    def _method_cluster(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Replicated-cluster verbs, dispatched on ``action``:
+        ``status`` / ``fsck`` / ``replay`` / ``anti_entropy``.  Answers
+        ``{"enabled": False}`` when the server is not a replicated shard
+        router (single instances and replication-off routers)."""
+        manager = getattr(self.tiera, "cluster", None)
+        if manager is None:
+            return {"enabled": False}
+        action = str(params.get("action", "status"))
+        if action == "status":
+            return {"enabled": True, "status": manager.summary()}
+        if action == "fsck":
+            return {
+                "enabled": True,
+                "fsck": manager.fsck(repair=bool(params.get("repair"))),
+            }
+        if action == "replay":
+            return {
+                "enabled": True,
+                "replay": manager.replay_hints(params.get("target")),
+            }
+        if action == "anti_entropy":
+            return {"enabled": True, "anti_entropy": manager.anti_entropy()}
+        raise ValueError(f"unknown cluster action {action!r}")
 
     def _method_tiers(self, params: Dict[str, Any]) -> list:
         return [

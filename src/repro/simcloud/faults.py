@@ -50,6 +50,19 @@ CRASH_POINTS: Tuple[str, ...] = (
     "backup.snapshot.begin", "backup.snapshot.temp", "backup.snapshot.done",
 )
 
+#: Crash points the *cluster* migration path announces (kept separate
+#: from :data:`CRASH_POINTS` so the single-instance crash sweep's
+#: boundary enumeration is unchanged).  ``cluster.move.*`` fire once per
+#: journaled key move; the ``migrate.*`` pair brackets the whole
+#: membership change.
+CLUSTER_CRASH_POINTS: Tuple[str, ...] = (
+    "cluster.migrate.begin",
+    "cluster.move.intent",
+    "cluster.move.copied",
+    "cluster.move.done",
+    "cluster.migrate.done",
+)
+
 
 @dataclass(frozen=True)
 class FaultProfile:
@@ -297,6 +310,27 @@ class FaultInjector:
                 service_time *= multiplier
                 self._record("latency", service, op, log=False)
         return service_time
+
+    def down_now(self, service) -> bool:
+        """Deterministic liveness read: would an op against ``service``
+        time out *right now*?
+
+        True for a failed service/node and for any matching fault in its
+        flap-down phase — the two shapes that behave hard-down.  Random
+        weather (``error_rate``) is deliberately *not* "down": a probe
+        draws no randomness, so wiring a failure detector in perturbs no
+        fault sequence and stays byte-identical across same-seed runs.
+        """
+        if not service.available:
+            return True
+        now = self.clock.now()
+        for fault in self._active:
+            profile = fault.profile
+            if profile.flap_period <= 0:
+                continue
+            if _match(fault.target, service) and self._flapped_down(fault, now):
+                return True
+        return False
 
     def on_read(self, service, key: str, data: bytes) -> bytes:
         """Bit-rot hook: may silently flip one bit of the *stored* copy.
@@ -549,6 +583,50 @@ def ebs_outage_2011(
     )
 
 
+def shard_loss(
+    targets=("kind:ebs",),
+    at: float = 60.0,
+    outage: float = 90.0,
+    flap_period: float = 20.0,
+    flap_duty: float = 0.5,
+    flap_duration: float = 60.0,
+) -> ChaosScenario:
+    """A whole-shard loss with a messy comeback.
+
+    Every ``target`` (pass the node targets of one shard's tiers to
+    take out the whole shard) goes hard-down for ``outage`` seconds,
+    then *flaps* for ``flap_duration`` more before staying up — the
+    shape that exercises a failure detector's down→suspect→up
+    transitions, hinted-handoff replay, and anti-entropy convergence
+    rather than a clean binary fail/recover."""
+    events = []
+    for target in targets:
+        events.append(
+            FaultEvent(
+                at=at,
+                duration=outage,
+                target=target,
+                profile=FaultProfile(
+                    name="shard-outage", flap_period=1e9, flap_duty=0.0
+                ),
+            )
+        )
+        if flap_duration > 0:
+            events.append(
+                FaultEvent(
+                    at=at + outage,
+                    duration=flap_duration,
+                    target=target,
+                    profile=FaultProfile(
+                        name="shard-flap-recovery",
+                        flap_period=flap_period,
+                        flap_duty=flap_duty,
+                    ),
+                )
+            )
+    return ChaosScenario(name="shard-loss", events=tuple(events))
+
+
 SCENARIOS.update(
     {
         "transient-errors": transient_errors(),
@@ -557,5 +635,6 @@ SCENARIOS.update(
         "gray-failure": gray_failure(),
         "bitrot": bitrot(),
         "ebs-outage-2011": ebs_outage_2011(),
+        "shard-loss": shard_loss(),
     }
 )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.errors import TieraError
+from repro.core.errors import EmptyRingError, TieraError
 from repro.core.server import TieraServer
 from repro.core.sharding import ConsistentHashRing, ShardedTieraServer
 from tests.core.conftest import build_instance
@@ -71,6 +71,43 @@ class TestRing:
             ConsistentHashRing().owner("key")
 
 
+class TestRingEdges:
+    def test_remove_last_shard_fails_at_the_mutation(self):
+        ring = ConsistentHashRing()
+        ring.add("a")
+        with pytest.raises(EmptyRingError) as excinfo:
+            ring.remove("a")
+        assert excinfo.value.code == "EMPTY_RING"
+        # The refused removal left the ring intact and usable.
+        assert ring.owner("key") == "a"
+
+    def test_empty_ring_errors_are_coded(self):
+        with pytest.raises(EmptyRingError):
+            ConsistentHashRing().owner("key")
+        with pytest.raises(EmptyRingError):
+            ConsistentHashRing().owners("key", 2)
+
+    def test_duplicate_add_after_remove(self):
+        ring = ConsistentHashRing()
+        ring.add("a")
+        ring.add("b")
+        ring.remove("b")
+        ring.add("b")  # not a duplicate once removed
+        with pytest.raises(ValueError):
+            ring.add("b")  # but a second add still is
+        assert set(ring.owners("key", 2)) == {"a", "b"}
+
+    def test_owners_are_distinct_and_capped(self):
+        ring = ConsistentHashRing()
+        for shard in ("a", "b", "c"):
+            ring.add(shard)
+        owners = ring.owners("key1", 3)
+        assert len(owners) == len(set(owners)) == 3
+        assert ring.owners("key1", 10) == owners  # capped at shard count
+        assert ring.owners("key1", 1) == [owners[0]]
+        assert ring.owners("key1", 1)[0] == ring.owner("key1")
+
+
 class TestShardedServer:
     def test_roundtrip_through_routing(self, sharded):
         for i in range(60):
@@ -122,3 +159,34 @@ class TestShardedServer:
         sharded.put("k", b"v")
         sharded.delete("k")
         assert not sharded.contains("k")
+
+    def test_router_has_its_own_observability(self, sharded):
+        assert sharded.obs is not None
+        for shard in sharded.shards.values():
+            assert sharded.obs is not shard.obs
+
+    def test_per_shard_op_counters(self, sharded):
+        for i in range(30):
+            sharded.put(f"key{i}", b"v")
+            sharded.get(f"key{i}")
+        counter = sharded.obs.metrics.counter(
+            "tiera_shard_ops_total", "per-shard ops routed"
+        )
+        total_put = sum(
+            counter.value(shard=name, op="put") for name in sharded.shards
+        )
+        total_get = sum(
+            counter.value(shard=name, op="get") for name in sharded.shards
+        )
+        assert total_put == 30 and total_get == 30
+        # Every shard saw some traffic (the 30 keys spread across 3).
+        for name in sharded.shards:
+            assert counter.value(shard=name, op="put") > 0
+
+    def test_health_aggregates_shards(self, sharded):
+        sharded.put("k", b"v")
+        health = sharded.health()
+        assert health["status"] == "ok"
+        assert set(health["shards"]) == set(sharded.shards)
+        for entry in health["shards"].values():
+            assert entry["status"] == "ok"

@@ -333,3 +333,52 @@ class TestBackupVerbs:
         assert main(["backup", "prune", "--port", port,
                      "--keep-last", "5"]) == 0
         assert '"pruned": []' in capsys.readouterr().out
+
+
+class TestClusterVerb:
+    @pytest.fixture
+    def cluster_rpc(self):
+        from repro.bench.failover import build_shard_cluster
+        from repro.core.cluster import ClusterConfig
+
+        sim, router, _, _ = build_shard_cluster(
+            shards=3, config=ClusterConfig(replication_factor=2)
+        )
+        rpc = TieraRpcServer(router, port=0).start()
+        yield rpc, router
+        rpc.stop()
+        router.cluster.stop()
+
+    def test_not_a_cluster_answers_disabled(self, client):
+        assert client.cluster() == {"enabled": False}
+
+    def test_status_fsck_replay_and_anti_entropy(self, cluster_rpc):
+        rpc, router = cluster_rpc
+        with TieraClient(rpc.host, rpc.port) as conn:
+            conn.put("ck", b"cluster bytes")
+            assert conn.get("ck") == b"cluster bytes"
+
+            status = conn.cluster()["status"]
+            assert status["replicas"] == 2
+            assert set(status["shards"]) == set(router.shards)
+            assert all(s == "up" for s in status["shards"].values())
+
+            assert conn.cluster("fsck")["fsck"]["clean"]
+            assert conn.cluster("replay")["replay"]["replayed"] == 0
+            assert conn.cluster("anti_entropy")["anti_entropy"][
+                "divergent"] == 0
+            assert conn.health()["cluster"]["hints"]["pending"] == 0
+
+    def test_unknown_action_is_a_bad_request(self, cluster_rpc):
+        rpc, _ = cluster_rpc
+        with TieraClient(rpc.host, rpc.port) as conn:
+            with pytest.raises(RpcError) as excinfo:
+                conn.cluster("explode")
+            assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_instance_only_verbs_fail_cleanly_on_a_router(self, cluster_rpc):
+        rpc, _ = cluster_rpc
+        with TieraClient(rpc.host, rpc.port) as conn:
+            with pytest.raises(RpcError) as excinfo:
+                conn.tiers()
+            assert excinfo.value.code == "BAD_REQUEST"

@@ -217,6 +217,7 @@ class TestScheduling:
             "flapping",
             "gray-failure",
             "latency-spike",
+            "shard-loss",
             "transient-errors",
         ]
         for name, scenario in SCENARIOS.items():
