@@ -134,10 +134,51 @@ def _scenario_batch_scaling(profiler: Profiler):
     return 11, result, obs, before
 
 
+def _scenario_heat_telemetry(profiler: Profiler):
+    """Zipfian YCSB mix on MemcachedEBS with the heat tracker enabled.
+
+    Exercises the full heat pipeline — sketch updates, tier occupancy
+    samples, ``tiera_heat_*`` counters — under the same closed loop the
+    other scenarios use, so benchdiff catches regressions the tracker
+    itself might introduce on the data path.
+    """
+    from repro.core.server import TieraServer
+    from repro.core.templates import memcached_ebs_instance
+    from repro.simcloud.cluster import Cluster
+    from repro.simcloud.resources import RequestContext
+    from repro.tiers.registry import TierRegistry
+    from repro.workloads.ycsb import YcsbWorkload
+
+    with profiler.section("build"):
+        cluster = Cluster(seed=2014)
+        obs = cluster.obs
+        obs.profiler = profiler
+        registry = TierRegistry(cluster)
+        instance = memcached_ebs_instance(registry, mem="100M", ebs="100M")
+        server = TieraServer(instance)
+        server.enable_heat(top_k=32, hot_min=4)
+    workload = YcsbWorkload(
+        server, 500, read_proportion=0.5, update_proportion=0.5,
+        distribution="zipfian", theta=0.99, seed=3,
+    )
+    with profiler.section("load"):
+        ctx = RequestContext(cluster.clock)
+        workload.load(ctx=ctx)
+        cluster.clock.run_until(ctx.time)
+    before = obs.metrics.snapshot()
+    with profiler.section("drive"):
+        result = run_closed_loop(
+            cluster.clock, clients=4, duration=20.0,
+            op_fn=workload, warmup=5.0, obs=obs,
+        )
+    return 2014, result, obs, before
+
+
 SCENARIOS: Dict[str, Callable] = {
     "fig07": _scenario_fig07,
     "fig13": _scenario_fig13,
     "batch_scaling": _scenario_batch_scaling,
+    "heat_telemetry": _scenario_heat_telemetry,
 }
 
 

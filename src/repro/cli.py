@@ -24,6 +24,11 @@ Commands mirror how the paper's prototype is operated:
   backup lifecycle against a server started with ``--backup-root``:
   incremental snapshots, point-in-time restore (``--to-seq`` /
   ``--to-time``), retention pruning, and recovery verification.
+* ``heat --port P [--enable] [--format text|json]`` — the workload
+  heat tracker's snapshot over RPC: hot-key bars from the Space-Saving
+  sketch, per-tier occupancy gauges, and the occupancy timeline.
+  ``--enable`` turns the tracker on first (``--top-k``, ``--hot-min``,
+  ``--window``, ``--sample-interval``, ``--max-objects`` configure it).
 * ``crashsweep [--deployment D] [--seed N] ...`` — offline: crash a
   scripted workload at every registered crash point, reopen, verify
   recovery invariants, print the JSON report (byte-identical across
@@ -207,6 +212,7 @@ def cmd_stats(options) -> int:
                 print(f"  slo {objective['name']}: {flag} "
                       f"(current {objective['current']}, "
                       f"burn {objective['burn_rate']:.2f}x)")
+        _print_heat_summary(health.get("heat"))
         _print_backup_summary(health.get("backup"))
         print(f"  background errors: {health['background_errors']} "
               f"(audit: {health['audit_errors']})")
@@ -216,6 +222,23 @@ def cmd_stats(options) -> int:
             print(f"  [{record['time']:.3f}] {record['category']} "
                   f"{record['name']} ({record['origin']}){error}")
     return 0
+
+
+def _print_heat_summary(heat: Optional[Dict[str, object]]) -> None:
+    """Workload-heat headline lines for the stats summary.
+
+    The output shape is pinned by tests/core/test_cli.py — a ``heat:``
+    line and, when the hot set is non-empty, a ``hot keys:`` line.
+    """
+    if not heat:
+        return
+    print(f"  heat: {heat['accesses']} accesses "
+          f"({heat['read_fraction'] * 100:.0f}% reads), "
+          f"{heat['tracked']} objects tracked, "
+          f"skew {heat['skew']:.2f}, churn {heat['churn']:.2f}")
+    hot = heat.get("hot_keys") or []
+    if hot:
+        print(f"  hot keys ({len(hot)}): {', '.join(hot)}")
 
 
 def _print_backup_summary(backup: Optional[Dict[str, object]]) -> None:
@@ -468,6 +491,37 @@ def cmd_backup(options) -> int:
     return 0
 
 
+def cmd_heat(options) -> int:
+    from repro.obs.heat import render_report
+
+    client = _connect(options)
+    if client is None:
+        return 1
+    config: Dict[str, object] = {}
+    if options.top_k is not None:
+        config["top_k"] = options.top_k
+    if options.hot_min is not None:
+        config["hot_min"] = options.hot_min
+    if options.window:
+        config["windows"] = options.window
+    if options.sample_interval is not None:
+        config["sample_interval"] = options.sample_interval
+    if options.max_objects is not None:
+        config["max_objects"] = options.max_objects
+    if config and not options.enable:
+        print("configuration flags need --enable", file=sys.stderr)
+        return 1
+    with client:
+        summary = client.heat(
+            enable=options.enable, limit=options.limit, **config
+        )
+    if options.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_report(summary))
+    return 0 if summary.get("enabled") else 1
+
+
 def cmd_crashsweep(options) -> int:
     from repro.bench.crashsweep import run_crash_sweep
 
@@ -578,7 +632,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile.add_argument(
         "--scenario", default="fig07",
         help="telemetry scenario to profile locally (fig07, fig13, "
-             "batch_scaling)",
+             "batch_scaling, heat_telemetry)",
     )
     profile.add_argument(
         "--cprofile", action="store_true",
@@ -738,6 +792,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     _backup_common(backup_actions.add_parser(
         "list", help="list the snapshot catalog"
     ))
+
+    heat = commands.add_parser(
+        "heat",
+        help="workload heat: hot keys, tier occupancy, access skew",
+    )
+    heat.add_argument("--host", default="127.0.0.1")
+    heat.add_argument("--port", type=int, required=True)
+    heat.add_argument(
+        "--enable", action="store_true",
+        help="turn the tracker on first (it starts disabled)",
+    )
+    heat.add_argument(
+        "--top-k", type=int, default=None,
+        help="Space-Saving sketch capacity (hot-set size bound)",
+    )
+    heat.add_argument(
+        "--hot-min", type=int, default=None,
+        help="guaranteed count before a key counts as hot",
+    )
+    heat.add_argument(
+        "--window", type=float, action="append", default=[],
+        help="EWMA decay window in seconds (repeatable)",
+    )
+    heat.add_argument(
+        "--sample-interval", type=float, default=None,
+        help="virtual seconds between occupancy samples",
+    )
+    heat.add_argument(
+        "--max-objects", type=int, default=None,
+        help="per-object stat table cap (LRU beyond this)",
+    )
+    heat.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the hot list in the snapshot",
+    )
+    heat.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    heat.set_defaults(func=cmd_heat)
 
     crashsweep = commands.add_parser(
         "crashsweep",

@@ -794,35 +794,46 @@ class ClusterManager:
         replay) re-queue; a hint whose holder lost the bytes is dropped
         — anti-entropy owns that divergence."""
         ctx = RequestContext(self.clock)
+        root = self.obs.tracer.start_background(
+            f"hint-replay {target or '*'}", ctx, target=target or "*"
+        )
         replayed = dropped = requeued = 0
-        for hint in self.hints.take(target):
-            if (hint.target not in self.shards
-                    or self.detector.is_down(hint.target)):
-                self.hints.requeue(hint)
-                requeued += 1
-                continue
-            if hint.op == api.DELETE:
-                result = self.shards[hint.target].delete_object(
-                    hint.key, ctx=ctx
-                )
-                ok = result.ok or result.error == "NO_SUCH_OBJECT"
-            else:
-                ok = self._replay_put(hint, ctx)
-                if ok is None:  # holder lost the bytes: drop the hint
-                    dropped += 1
-                    self._hint_replays.inc(
-                        target=hint.target, outcome="dropped"
-                    )
+        with self.obs.profiler.section("cluster:hint-replay"):
+            for hint in self.hints.take(target):
+                if (hint.target not in self.shards
+                        or self.detector.is_down(hint.target)):
+                    self.hints.requeue(hint)
+                    requeued += 1
                     continue
-            if ok:
-                replayed += 1
-                self.hints.replayed += 1
-                self._hint_replays.inc(target=hint.target, outcome="ok")
-            else:
-                self.hints.requeue(hint)
-                requeued += 1
-                self._hint_replays.inc(target=hint.target, outcome="requeued")
+                if hint.op == api.DELETE:
+                    result = self.shards[hint.target].delete_object(
+                        hint.key, ctx=ctx
+                    )
+                    ok = result.ok or result.error == "NO_SUCH_OBJECT"
+                else:
+                    ok = self._replay_put(hint, ctx)
+                    if ok is None:  # holder lost the bytes: drop the hint
+                        dropped += 1
+                        self._hint_replays.inc(
+                            target=hint.target, outcome="dropped"
+                        )
+                        continue
+                if ok:
+                    replayed += 1
+                    self.hints.replayed += 1
+                    self._hint_replays.inc(target=hint.target, outcome="ok")
+                else:
+                    self.hints.requeue(hint)
+                    requeued += 1
+                    self._hint_replays.inc(
+                        target=hint.target, outcome="requeued"
+                    )
         self._hints_pending.set(len(self.hints))
+        if root is not None:
+            root.attrs.update(
+                replayed=replayed, dropped=dropped, requeued=requeued
+            )
+        self.obs.tracer.finish_request(root, ctx)
         record = {
             "time": self.clock.now(),
             "target": target or "*",
@@ -904,33 +915,39 @@ class ClusterManager:
         copy.  Groups with an unreachable member are compared among the
         reachable ones only; the next sweep after recovery finishes the
         job."""
+        ctx = RequestContext(self.clock)
+        root = self.obs.tracer.start_background("anti-entropy", ctx)
         groups: Dict[Tuple[str, ...], List[str]] = {}
         for key in self.cluster_keys():
             groups.setdefault(tuple(self.owners(key)), []).append(key)
         divergent_groups = 0
         skipped_groups = 0
         repairs = 0
-        for owner_set in sorted(groups):
-            keys = sorted(groups[owner_set])
-            reachable = [s for s in owner_set
-                         if not self.detector.is_down(s)]
-            if len(reachable) < 2:
-                skipped_groups += 1
-                continue
-            trees = {s: self._merkle(s, keys) for s in reachable}
-            roots = {tree[0] for tree in trees.values()}
-            if len(roots) == 1:
-                continue
-            divergent_groups += 1
-            suspect_buckets = set()
-            for bucket in range(self.config.merkle_buckets):
-                digests = {trees[s][1][bucket] for s in reachable}
-                if len(digests) > 1:
-                    suspect_buckets.add(bucket)
-            for key in keys:
-                if self._bucket(key) in suspect_buckets:
-                    repairs += self._sync_key(key)
+        with self.obs.profiler.section("cluster:anti-entropy"):
+            for owner_set in sorted(groups):
+                keys = sorted(groups[owner_set])
+                reachable = [s for s in owner_set
+                             if not self.detector.is_down(s)]
+                if len(reachable) < 2:
+                    skipped_groups += 1
+                    continue
+                trees = {s: self._merkle(s, keys) for s in reachable}
+                roots = {tree[0] for tree in trees.values()}
+                if len(roots) == 1:
+                    continue
+                divergent_groups += 1
+                suspect_buckets = set()
+                for bucket in range(self.config.merkle_buckets):
+                    digests = {trees[s][1][bucket] for s in reachable}
+                    if len(digests) > 1:
+                        suspect_buckets.add(bucket)
+                for key in keys:
+                    if self._bucket(key) in suspect_buckets:
+                        repairs += self._sync_key(key, ctx=ctx)
         self._ae_runs.inc()
+        if root is not None:
+            root.attrs.update(divergent=divergent_groups, repairs=repairs)
+        self.obs.tracer.finish_request(root, ctx)
         record = {
             "time": self.clock.now(),
             "groups": len(groups),
@@ -957,14 +974,31 @@ class ClusterManager:
     def _schedule_repair(self, key: str, reason: str) -> None:
         self.clock.schedule(0.0, lambda: self._sync_key(key))
 
-    def _sync_key(self, key: str) -> int:
+    def _sync_key(
+        self, key: str, ctx: Optional[RequestContext] = None
+    ) -> int:
         """Converge one key's reachable replicas to the winner copy.
 
         The winner is the reachable replica with the highest
         ``(version, checksum)`` whose bytes actually verify against its
         recorded checksum — a bit-rotted copy cannot win.  Returns the
-        number of replicas rewritten."""
-        ctx = RequestContext(self.clock)
+        number of replicas rewritten.  Standalone calls (scheduled
+        read-repair) open their own background trace root; an
+        anti-entropy sweep passes its ``ctx`` so repairs nest under the
+        sweep's root instead."""
+        root = None
+        if ctx is None:
+            ctx = RequestContext(self.clock)
+            root = self.obs.tracer.start_background(
+                f"read-repair {key}", ctx, key=key
+            )
+        try:
+            with self.obs.profiler.section("cluster:read-repair"):
+                return self._converge_replicas(key, ctx)
+        finally:
+            self.obs.tracer.finish_request(root, ctx)
+
+    def _converge_replicas(self, key: str, ctx: RequestContext) -> int:
         owners = self.owners(key)
         reachable = [s for s in owners if not self.detector.is_down(s)]
         candidates: List[Tuple[int, str, str]] = []  # (version, checksum, shard)

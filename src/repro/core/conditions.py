@@ -94,6 +94,34 @@ _SLO_ATTRS = frozenset(
     }
 )
 
+# Per-tier attributes resolvable via ``heat.<tier>.<attr>``.
+_HEAT_TIER_ATTRS = frozenset(
+    {
+        "reads",
+        "writes",
+        "accesses",
+        "read_fraction",
+        "write_fraction",
+        "used",
+        "capacity",
+        "utilization",
+    }
+)
+
+# Workload-level attributes resolvable via ``heat.<attr>``.
+_HEAT_ATTRS = frozenset(
+    {
+        "accesses",
+        "reads",
+        "writes",
+        "read_fraction",
+        "tracked",
+        "hot_count",
+        "skew",
+        "churn",
+    }
+)
+
 
 @dataclass
 class AttrRef(Condition):
@@ -108,7 +136,11 @@ class AttrRef(Condition):
     * ``slo.<name>[.attr]`` — live SLO state (``burning``, ``compliant``,
       ``burn_rate``, …); bare ``slo.<name>`` is the alerting flag, so
       ``event(slo.get_latency.burning) : response { ... }`` lets policy
-      react to error-budget burn.
+      react to error-budget burn,
+    * ``heat.<attr>`` / ``heat.<tier>.<attr>`` — live workload heat
+      (``skew``, ``churn``, ``hot_count``, per-tier ``read_fraction``,
+      ``utilization``, …) from the heat tracker, so policy can react to
+      measured access patterns (``event(heat.tier1.utilization > 90%)``).
     """
 
     path: Tuple[str, ...]
@@ -123,6 +155,8 @@ class AttrRef(Condition):
             return scope.now
         if head == "slo":
             return self._resolve_slo(scope, self.path[1:])
+        if head == "heat":
+            return self._resolve_heat(scope, self.path[1:])
         if scope.instance is not None and scope.instance.tiers.has(head):
             return self._resolve_tier(scope, head, self.path[1:])
         raise PolicyError(f"cannot resolve attribute path {'.'.join(self.path)!r}")
@@ -178,6 +212,28 @@ class AttrRef(Condition):
         if attr == "burning":
             attr = "alerting"
         return state[attr]
+
+    def _resolve_heat(self, scope: EvalScope, rest: Sequence[str]) -> Any:
+        if not rest:
+            raise PolicyError("bare 'heat' is not a value; use heat.<attr>")
+        tracker = getattr(scope.instance.obs, "heat", None)
+        if tracker is None or not tracker.enabled:
+            raise PolicyError(
+                "heat tracking is not enabled on this instance"
+            )
+        head = rest[0]
+        if len(rest) == 1:
+            if head not in _HEAT_ATTRS:
+                raise PolicyError(f"unknown heat attribute {head!r}")
+            return tracker.global_stats()[head]
+        if not scope.instance.tiers.has(head):
+            raise PolicyError(
+                f"heat.{head}: {head!r} is neither a heat attribute nor a tier"
+            )
+        attr = rest[1]
+        if attr not in _HEAT_TIER_ATTRS:
+            raise PolicyError(f"unknown heat tier attribute {attr!r}")
+        return tracker.tier_stats(head)[attr]
 
     def _resolve_tier(self, scope: EvalScope, tier_name: str, rest) -> Any:
         tier = scope.instance.tiers.get(tier_name)
@@ -296,6 +352,26 @@ def _resident_size(tier, key: str) -> int:
     if tier.contains(key):
         return tier.service.size_of(key)
     return 0
+
+
+@dataclass
+class HeatHot(Condition):
+    """True while ``key`` is in the heat tracker's current hot set.
+
+    Backs the spec form ``event(heat.hot(key))``: edge-triggered on the
+    key *entering* the hot set, so a promote-on-hot response fires once
+    per heating-up rather than on every access.
+    """
+
+    key: str
+
+    def evaluate(self, scope: EvalScope) -> bool:
+        tracker = getattr(scope.instance.obs, "heat", None)
+        if tracker is None or not tracker.enabled:
+            raise PolicyError(
+                "heat tracking is not enabled on this instance"
+            )
+        return tracker.is_hot(self.key)
 
 
 @dataclass

@@ -326,6 +326,7 @@ class TieraInstance:
         meta.size = len(data)
         self.persist_meta(meta)
         self._crash_point("write.meta")
+        self.obs.heat.record_tier("put", tier_name, at=ctx.time)
         if seq is not None:
             dur.commit(seq)
             self._crash_point("write.commit")
@@ -497,6 +498,7 @@ class TieraInstance:
         # trace root when tracing is active.
         ctx.served_by = served.name
         self._gets_served.inc(tier=served.name)
+        self.obs.heat.record_tier("get", served.name, at=ctx.time)
         if ctx.trace is not None:
             ctx.trace.attrs["served_by"] = served.name
         return data
@@ -657,6 +659,8 @@ class TieraInstance:
                 for tier in holders:
                     tier.delete(key, ctx)
             self._crash_point("delete.data")
+            for tier in holders:
+                self.obs.heat.record_tier("delete", tier.name, at=ctx.time)
             self._drop_dedup_entry(meta)
             self._drop_meta(key)
         if seq is not None:
@@ -787,6 +791,34 @@ class TieraInstance:
                 self, root, assume_continuity=assume_continuity, **kwargs
             )
         return self.backup
+
+    # -- workload heat telemetry ---------------------------------------------
+
+    def enable_heat(self, **config):
+        """Turn on the workload heat tracker for this instance.
+
+        Idempotent; returns the hub's
+        :class:`~repro.obs.heat.HeatTracker`.  Keyword arguments pass
+        through to :meth:`~repro.obs.heat.HeatTracker.enable`
+        (``windows=``, ``top_k=``, ``max_objects=``,
+        ``sample_interval=``, ``hot_min=``).  Wires the tracker's
+        occupancy source to this instance's live tier state so the
+        per-tier utilization timeline samples real fill levels.
+        """
+        tracker = self.obs.heat.enable(**config)
+        tracker.occupancy_source = self._heat_occupancy
+        return tracker
+
+    def _heat_occupancy(self):
+        """Live ``(tier, used, capacity)`` rows for the heat timeline."""
+        return [
+            (
+                tier.name,
+                tier.used,
+                -1 if tier.capacity is None else tier.capacity,
+            )
+            for tier in self.tiers.ordered()
+        ]
 
     def state_digest(self, durable_only: bool = False) -> str:
         """Deterministic fingerprint of stored state.
@@ -934,6 +966,10 @@ class TieraInstance:
         if self.durability is not None:
             self.durability.close()
         self.obs.metrics.remove_collector(self._collect_gauges)
+        heat = getattr(self.obs, "heat", None)
+        if heat is not None and heat.occupancy_source == self._heat_occupancy:
+            heat.occupancy_source = None
+            heat.shutdown()
         self.metadata_store.close()
 
     def __repr__(self) -> str:

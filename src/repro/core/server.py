@@ -168,6 +168,10 @@ class TieraServer:
             raise
         self._end(op.op, root, ctx, started)
         result.latency = ctx.time - started
+        # Heat accounting (per-object sketch + EWMA) rides the same
+        # completion event — one record per client op, whether the op
+        # arrived alone or inside a batch; inert until enabled.
+        self.obs.heat.record(op.op, op.key, size=result.size, at=ctx.time)
         return result
 
     def _apply_op(self, op: BatchOp, ctx: RequestContext) -> OpResult:
@@ -531,7 +535,24 @@ class TieraServer:
             out["slo"] = summary
             if summary["alerting"] and status == "ok":
                 out["status"] = "degraded"
+        heat = self.obs.heat
+        if heat.enabled:
+            # Hot-key detail stays in the heat verb/snapshot; health
+            # carries the workload-shape headline only.
+            out["heat"] = dict(
+                heat.global_stats(), hot_keys=heat.hot_keys()
+            )
         return out
+
+    # -- workload heat -----------------------------------------------------
+
+    def enable_heat(self, **config):
+        """Enable heat telemetry on the underlying instance (idempotent)."""
+        return self.instance.enable_heat(**config)
+
+    def heat_summary(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """The heat tracker's snapshot (``{"enabled": False}`` until on)."""
+        return self.obs.heat.summary(limit=limit)
 
     def last_trace(self):
         """The most recently completed request trace (or ``None``)."""

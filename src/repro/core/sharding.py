@@ -421,7 +421,39 @@ class ShardedTieraServer:
             out["cluster"] = summary
             if any(state != "up" for state in summary["shards"].values()):
                 out["status"] = "degraded"
+        heat = self.heat_summary()
+        if heat.get("enabled"):
+            out["heat"] = {
+                "accesses": heat["accesses"]["total"],
+                "tracked": heat["tracked_objects"],
+                "hot_keys": heat["hot_keys"],
+                "skew": heat["skew"],
+                "churn": heat["churn"],
+            }
         return out
+
+    # -- workload heat -------------------------------------------------------
+
+    def enable_heat(self, **config):
+        """Enable heat telemetry on every shard (idempotent)."""
+        for name in sorted(self.shards):
+            self.shards[name].enable_heat(**config)
+
+    def heat_summary(self, limit: Optional[int] = None) -> Dict[str, object]:
+        """Cluster-wide heat view: per-shard trackers aggregated.
+
+        Keys route to exactly one shard, so per-shard hot lists merge
+        disjointly (union → re-rank → truncate) while tier traffic and
+        occupancy sum; see :func:`repro.obs.heat.merge_summaries`.
+        With one shard the snapshot is byte-identical to the direct
+        facade's (the parity suite pins this).
+        """
+        from repro.obs.heat import merge_summaries
+
+        return merge_summaries([
+            self.shards[name].heat_summary(limit=limit)
+            for name in sorted(self.shards)
+        ])
 
     # -- elasticity ---------------------------------------------------------
 

@@ -84,14 +84,42 @@ def stats_snapshot(obs, audit_limit: int = 50) -> Dict[str, object]:
     slo = getattr(obs, "slo", None)
     if slo is not None and slo.objectives:
         snap["slo"] = slo.summary()
+    heat = getattr(obs, "heat", None)
+    if heat is not None and heat.enabled:
+        snap["heat"] = heat.summary()
     return snap
 
 
 def parse_labels(rendered: str) -> Dict[str, str]:
-    """Inverse of the snapshot's ``k=v,k=v`` sample keys."""
+    """Inverse of the snapshot's ``k=v,k=v`` sample keys.
+
+    Honours the backslash escapes ``_render_labels`` emits, so label
+    values containing ``,``, ``=``, or ``\\`` (hot-key gauges label by
+    arbitrary object keys) round-trip instead of mis-splitting.
+    """
     if not rendered:
         return {}
-    return dict(part.split("=", 1) for part in rendered.split(","))
+    out: Dict[str, str] = {}
+    key: List[str] = []
+    value: List[str] = []
+    current = key
+    escaped = False
+    for ch in rendered:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == "=" and current is key:
+            current = value
+        elif ch == ",":
+            out["".join(key)] = "".join(value)
+            key, value = [], []
+            current = key
+        else:
+            current.append(ch)
+    out["".join(key)] = "".join(value)
+    return out
 
 
 def _samples(snapshot: Dict[str, object], name: str) -> Dict[str, object]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.audit import DEFAULT_AUDIT_CAPACITY, AuditLog
+from repro.obs.heat import HeatTracker
 from repro.obs.profiler import Profiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import SloEngine
@@ -36,6 +37,7 @@ class Observability:
         self.audit = AuditLog(capacity=audit_capacity)
         self.profiler = Profiler()
         self.slo = SloEngine(self.metrics, self.audit, clock)
+        self.heat = HeatTracker(self.metrics, self.audit, clock)
 
     def snapshot(self, audit_limit: int = 50) -> dict:
         """JSON-able snapshot of metrics plus the audit tail."""

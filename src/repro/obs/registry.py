@@ -286,8 +286,18 @@ def _ceil_rank(q: float, count: int) -> int:
 
 
 def _render_labels(labelset: LabelSet) -> str:
-    """``(("op","get"),("service","s3-1"))`` → ``op=get,service=s3-1``."""
-    return ",".join(f"{k}={v}" for k, v in labelset)
+    """``(("op","get"),("service","s3-1"))`` → ``op=get,service=s3-1``.
+
+    ``\\``, ``,``, and ``=`` inside a key or value are backslash-escaped
+    so arbitrary label text (object keys in the heat gauges) stays
+    unambiguous; :func:`repro.obs.export.parse_labels` is the inverse.
+    """
+    def esc(text: str) -> str:
+        return (
+            text.replace("\\", "\\\\").replace(",", "\\,").replace("=", "\\=")
+        )
+
+    return ",".join(f"{esc(k)}={esc(v)}" for k, v in labelset)
 
 
 class MetricsRegistry:

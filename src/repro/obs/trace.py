@@ -151,6 +151,23 @@ class Tracer:
         ctx.trace = root
         return root
 
+    def start_background(self, name: str, ctx, **attrs: object):
+        """Open a background root span on ``ctx`` if tracing is on.
+
+        For maintenance work that runs outside any client request —
+        hinted-handoff drains, anti-entropy sweeps, read-repair — so
+        those paths show up in trace trees alongside client requests,
+        marked ``foreground=False`` throughout.  Returns the root span,
+        or ``None`` when tracing is off (or a trace is already open).
+        """
+        if ctx.span is not None or not self.enabled:
+            return None
+        root = Span(name, "background", ctx.time, foreground=False,
+                    attrs=dict(attrs))
+        ctx.span = root
+        ctx.trace = root
+        return root
+
     def finish_request(self, root: Optional[Span], ctx,
                        error: Optional[str] = None) -> None:
         """Close a root opened by :meth:`start_request` (no-op on None)."""

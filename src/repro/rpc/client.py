@@ -233,6 +233,22 @@ class TieraClient:
             params["objectives"] = objectives
         return self._call("slo", **params)
 
+    def heat(self, enable: bool = False, limit: Optional[int] = None,
+             **config) -> Dict[str, Any]:
+        """The heat tracker's snapshot; optionally enable it first.
+
+        ``enable=True`` turns the tracker on (configuration keywords —
+        ``windows=``, ``top_k=``, ``max_objects=``, ``sample_interval=``,
+        ``hot_min=`` — pass through); ``limit`` caps the hot list.
+        Returns ``{"enabled": False}`` until enabled."""
+        params: Dict[str, Any] = {}
+        if enable:
+            params["enable"] = True
+            params.update(config)
+        if limit is not None:
+            params["limit"] = limit
+        return self._call("heat", **params)
+
     # -- durability -------------------------------------------------------
 
     def fsck(self, repair: bool = False) -> Dict[str, Any]:

@@ -298,6 +298,31 @@ class TieraRpcServer:
         out.update(res.summary())
         return out
 
+    def _method_heat(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Inspect (and optionally enable/configure) heat telemetry.
+
+        ``enable=true`` turns the tracker on first; configuration
+        keywords (``windows=``, ``top_k=``, ``max_objects=``,
+        ``sample_interval=``, ``hot_min=``) pass through to
+        :meth:`~repro.obs.heat.HeatTracker.enable`.  Works against both
+        a single instance and a shard router (per-shard aggregation);
+        answers ``{"enabled": False}`` until enabled.
+        """
+        if params.get("enable"):
+            config = {
+                name: params[name]
+                for name in (
+                    "windows", "top_k", "max_objects",
+                    "sample_interval", "hot_min",
+                )
+                if params.get(name) is not None
+            }
+            self.tiera.enable_heat(**config)
+        limit = params.get("limit")
+        return self.tiera.heat_summary(
+            limit=int(limit) if limit is not None else None
+        )
+
     # -- durability verbs (FSCK / SNAPSHOT / RESTORE) -----------------------
 
     def _method_fsck(self, params: Dict[str, Any]) -> Dict[str, Any]:

@@ -53,7 +53,20 @@ class BoolExpr:
     parts: Tuple["Expr", ...]
 
 
-Expr = object  # PathExpr | LiteralExpr | CompareExpr | BoolExpr
+@dataclass
+class CallExpr:
+    """A call in expression position: ``heat.hot(key)``.
+
+    ``func`` is the (possibly dotted) callee path; ``args`` are
+    positional expressions.  Only a handful of built-in predicates
+    accept this form — the compiler validates the callee.
+    """
+
+    func: Tuple[str, ...]
+    args: Tuple["Expr", ...]
+
+
+Expr = object  # PathExpr | LiteralExpr | CompareExpr | BoolExpr | CallExpr
 
 
 # -- statements inside response blocks ----------------------------------------

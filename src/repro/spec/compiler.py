@@ -26,6 +26,7 @@ from repro.core.conditions import (
     AttrRef,
     Comparison,
     Condition,
+    HeatHot,
     Literal,
     Or,
     TierFull,
@@ -189,7 +190,31 @@ class Compiler:
             return self._compile_value(expr)
         if isinstance(expr, ast.LiteralExpr):
             return Literal(expr.value)
+        if isinstance(expr, ast.CallExpr):
+            return self._compile_call_expr(expr)
         raise PolicyError(f"cannot compile condition {expr!r}")
+
+    def _compile_call_expr(self, expr: ast.CallExpr) -> Condition:
+        if expr.func == ("heat", "hot"):
+            if len(expr.args) != 1:
+                raise PolicyError("heat.hot() takes exactly one key argument")
+            return HeatHot(self._string_arg(expr.args[0], "heat.hot"))
+        raise PolicyError(
+            f"unknown predicate {'.'.join(expr.func)!r} in condition"
+        )
+
+    def _string_arg(self, expr: ast.Expr, context: str) -> str:
+        """A string-valued call argument: a string literal, a parameter,
+        or a bare identifier taken as a literal key (the `store(to:
+        tier1)` idiom)."""
+        if isinstance(expr, ast.LiteralExpr) and expr.unit == "string":
+            return str(expr.value)
+        if isinstance(expr, ast.PathExpr) and len(expr.parts) == 1:
+            name = expr.parts[0]
+            if name in self.args:
+                return str(self.args[name])
+            return name
+        raise PolicyError(f"{context}: argument must be a key name or string")
 
     def _compile_value(self, expr: ast.Expr) -> Condition:
         if isinstance(expr, ast.LiteralExpr):
@@ -204,6 +229,8 @@ class Compiler:
             return AttrRef(expr.parts)
         if isinstance(expr, (ast.CompareExpr, ast.BoolExpr)):
             return self._compile_condition(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._compile_call_expr(expr)
         raise PolicyError(f"cannot compile value {expr!r}")
 
     # -- statements ---------------------------------------------------------------

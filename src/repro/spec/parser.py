@@ -248,7 +248,19 @@ class Parser:
             if token.text in ("true", "false"):
                 self._advance()
                 return ast.LiteralExpr(value=token.text == "true", unit="bool")
-            return self._parse_path()
+            path = self._parse_path()
+            # `heat.hot(key)` — a path followed by `(` is a predicate call.
+            if self._peek().is_punct("("):
+                self._advance()
+                args = []
+                if not self._peek().is_punct(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self._match_punct(","):
+                            break
+                self._expect_punct(")")
+                return ast.CallExpr(func=path.parts, args=tuple(args))
+            return path
         if token.kind == "NUMBER":
             self._advance()
             return ast.LiteralExpr(value=token.value)

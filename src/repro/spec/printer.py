@@ -82,6 +82,9 @@ def _expr(expr: ast.Expr) -> str:
     if isinstance(expr, ast.BoolExpr):
         joiner = " && " if expr.op == "and" else " || "
         return joiner.join(_expr(part) for part in expr.parts)
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(_expr(arg) for arg in expr.args)
+        return f"{'.'.join(expr.func)}({args})"
     raise TypeError(f"cannot print expression {expr!r}")
 
 

@@ -35,7 +35,9 @@ def batch_record():
 
 class TestRecords:
     def test_known_scenarios(self):
-        assert set(SCENARIOS) == {"fig07", "fig13", "batch_scaling"}
+        assert set(SCENARIOS) == {
+            "fig07", "fig13", "batch_scaling", "heat_telemetry",
+        }
         with pytest.raises(ValueError):
             run_scenario("fig99")
 

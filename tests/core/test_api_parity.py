@@ -200,6 +200,54 @@ class TestLegacyShimParity:
             direct.delete("k")
 
 
+class TestHeatParity:
+    """The heat snapshot is part of the API surface: the same op script
+    must yield the identical summary from every façade (the single-shard
+    router merges through :func:`repro.obs.heat.merge_summaries`, the
+    RPC façade through a JSON round-trip — neither may perturb it)."""
+
+    HEAT_CONFIG = dict(top_k=8, hot_min=2, sample_interval=2.0)
+
+    def _drive(self, facade):
+        facade.put_object("alpha", b"a" * 512)
+        facade.put_object("beta", b"b" * 256)
+        for _ in range(4):
+            facade.get_object("alpha")
+        facade.get_object("beta")
+        facade.delete_object("beta")
+
+    def test_summaries_identical_across_facades(self, direct, sharded, rpc_client):
+        direct.enable_heat(**self.HEAT_CONFIG)
+        sharded.enable_heat(**self.HEAT_CONFIG)
+        rpc_client.heat(enable=True, **self.HEAT_CONFIG)
+        summaries = []
+        for facade in (direct, sharded, rpc_client):
+            self._drive(facade)
+            if facade is rpc_client:
+                summaries.append(facade.heat())
+            else:
+                summaries.append(facade.heat_summary())
+        assert summaries[0] == summaries[1]
+        assert summaries[0] == summaries[2]
+        assert summaries[0]["enabled"] is True
+        assert summaries[0]["hot_keys"][0] == "alpha"
+
+    def test_disabled_snapshot_parity(self, direct, sharded, rpc_client):
+        assert direct.heat_summary() == {"enabled": False}
+        assert sharded.heat_summary() == {"enabled": False}
+        assert rpc_client.heat() == {"enabled": False}
+
+    def test_limit_truncates_hot_list_everywhere(self, direct, rpc_client):
+        direct.enable_heat(**self.HEAT_CONFIG)
+        rpc_client.heat(enable=True, **self.HEAT_CONFIG)
+        for facade in (direct, rpc_client):
+            for key in ("a", "b", "c"):
+                for _ in range(3):
+                    facade.put_object(key, b"x" * 64)
+        assert direct.heat_summary(limit=1) == rpc_client.heat(limit=1)
+        assert len(direct.heat_summary(limit=1)["hot"]) == 1
+
+
 class TestShardRouterTagPropagation:
     """Regression: the router's put used to take ``tags=()`` while
     TieraServer.put took an iterable default — tags silently diverged

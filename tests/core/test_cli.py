@@ -247,6 +247,88 @@ class TestBenchCommands:
         assert "no committed baseline" in capsys.readouterr().out
 
 
+class TestHeatSummary:
+    """Pins the heat lines in ``repro stats --format summary``."""
+
+    HEAT_LINE = re.compile(
+        r"^  heat: \d+ accesses \(\d+% reads\), \d+ objects tracked, "
+        r"skew \d+\.\d{2}, churn \d+\.\d{2}$"
+    )
+    HOT_LINE = re.compile(r"^  hot keys \(\d+\): \S.*$")
+
+    def _summary(self, rpc, capsys):
+        assert main([
+            "stats", "--port", str(rpc.port), "--format", "summary",
+        ]) == 0
+        return capsys.readouterr().out
+
+    def test_disabled_tracker_prints_no_heat_lines(self, live_rpc, capsys):
+        out = self._summary(live_rpc, capsys)
+        assert "heat:" not in out
+        assert "hot keys" not in out
+
+    def test_heat_line_shape(self, live_rpc, capsys):
+        from repro.rpc import TieraClient
+
+        with TieraClient(live_rpc.host, live_rpc.port) as conn:
+            conn.heat(enable=True, hot_min=2)
+            for _ in range(4):
+                conn.get_object("k0")
+        out = self._summary(live_rpc, capsys)
+        heat_lines = [ln for ln in out.splitlines()
+                      if ln.startswith("  heat: ")]
+        assert len(heat_lines) == 1
+        assert self.HEAT_LINE.match(heat_lines[0]), heat_lines[0]
+        hot_lines = [ln for ln in out.splitlines()
+                     if ln.startswith("  hot keys ")]
+        assert len(hot_lines) == 1
+        assert self.HOT_LINE.match(hot_lines[0]), hot_lines[0]
+        assert "k0" in hot_lines[0]
+
+
+class TestHeatCommand:
+    def test_disabled_tracker_reports_and_fails(self, live_rpc, capsys):
+        assert main(["heat", "--port", str(live_rpc.port)]) == 1
+        assert "not enabled" in capsys.readouterr().out
+
+    def test_config_flags_require_enable(self, live_rpc, capsys):
+        assert main([
+            "heat", "--port", str(live_rpc.port), "--top-k", "8",
+        ]) == 1
+        assert "--enable" in capsys.readouterr().err
+
+    def test_enable_and_render_text_report(self, live_rpc, capsys):
+        from repro.rpc import TieraClient
+
+        assert main([
+            "heat", "--port", str(live_rpc.port), "--enable",
+            "--hot-min", "2",
+        ]) == 0
+        capsys.readouterr()
+        with TieraClient(live_rpc.host, live_rpc.port) as conn:
+            for _ in range(4):
+                conn.get_object("k1")
+        assert main(["heat", "--port", str(live_rpc.port)]) == 0
+        out = capsys.readouterr().out
+        assert "workload heat:" in out
+        assert "hot keys (1):" in out
+        assert "k1" in out
+        assert "tiers:" in out
+
+    def test_json_format_round_trips(self, live_rpc, capsys):
+        assert main([
+            "heat", "--port", str(live_rpc.port), "--enable",
+            "--format", "json",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["enabled"] is True
+        assert "hot_keys" in summary
+
+    def test_connection_refused_is_a_clean_error(self, capsys):
+        assert main(["heat", "--port", "1"]) == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+
 class TestBackupSummary:
     """Pins the backup-chain lines in ``repro stats --format summary``."""
 

@@ -227,6 +227,57 @@ class TestSelfHealing:
         assert rt.health()["status"] == "ok"
 
 
+class TestBackgroundTracing:
+    """Maintenance paths open their own background trace roots, so
+    hint replay, anti-entropy, and read-repair show up in trace trees
+    alongside client requests instead of running invisibly."""
+
+    def _roots(self, rt, name):
+        return [s for s in rt.obs.tracer.recent() if s.name.startswith(name)]
+
+    def test_anti_entropy_sweep_opens_background_root(self, rt):
+        rt.obs.tracer.enabled = True
+        rt.put_object("ae-t", b"original")
+        owners = rt.cluster.owners("ae-t")
+        rt.shards[owners[1]].put_object("ae-t", b"newer")
+        rt.cluster.anti_entropy()
+        [root] = self._roots(rt, "anti-entropy")
+        assert root.kind == "background" and not root.foreground
+        assert root.attrs["divergent"] == 1
+        assert root.attrs["repairs"] >= 1
+        assert root.children  # repair tier-ops nest under the sweep
+
+    def test_hint_replay_opens_background_root(self, cluster, rt):
+        rt.obs.tracer.enabled = True
+        owners = rt.cluster.owners("hint-t")
+        handles = mark_down(cluster, rt, owners[0])
+        rt.put_object("hint-t", b"parked")
+        rt.cluster.replay_hints()
+        roots = self._roots(rt, "hint-replay")
+        assert roots and roots[-1].attrs["requeued"] == 1
+        bring_up(cluster, rt, handles)
+        roots = self._roots(rt, "hint-replay")
+        assert roots[-1].attrs["replayed"] == 1
+        assert all(r.kind == "background" for r in roots)
+
+    def test_scheduled_read_repair_opens_background_root(self, rt):
+        rt.obs.tracer.enabled = True
+        rt.put_object("rr-t", b"v")
+        owners = rt.cluster.owners("rr-t")
+        rt.shards[owners[0]].delete_object("rr-t")
+        rt.get_object("rr-t")
+        rt.clock.run_until(rt.clock.now() + 0.01)
+        [root] = self._roots(rt, "read-repair rr-t")
+        assert root.kind == "background" and not root.foreground
+        assert root.attrs["key"] == "rr-t"
+        assert rt.shards[owners[0]].contains("rr-t")
+
+    def test_untraced_background_paths_stay_silent(self, rt):
+        rt.put_object("quiet", b"v")
+        rt.cluster.anti_entropy()
+        assert rt.obs.tracer.recent() == []
+
+
 class TestHintQueue:
     def test_newer_write_supersedes_same_slot(self):
         queue = HintQueue()

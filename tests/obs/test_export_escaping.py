@@ -2,7 +2,7 @@
 
 import json
 
-from repro.obs.export import render_prometheus, stats_snapshot
+from repro.obs.export import parse_labels, render_prometheus, stats_snapshot
 from repro.obs.hub import Observability
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import default_slos
@@ -51,6 +51,75 @@ class TestPrometheusEscaping:
 
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestSnapshotLabelEscaping:
+    """Regression: the snapshot's ``k=v,k=v`` sample keys used to split
+    ambiguously when a label *value* contained ``,`` or ``=`` — exactly
+    what the heat tracker's hot-key gauge produces for arbitrary object
+    keys.  ``_render_labels`` now backslash-escapes and ``parse_labels``
+    is its escape-aware inverse."""
+
+    HOSTILE_KEYS = [
+        "user,0=admin",
+        "a=b,c=d",
+        "back\\slash,key",
+        "trailing\\",
+        "plain",
+    ]
+
+    def test_hostile_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("tiera_heat_hot_count", "help")
+        for i, hostile in enumerate(self.HOSTILE_KEYS):
+            gauge.set(float(i), key=hostile)
+        samples = registry.snapshot()["metrics"]["tiera_heat_hot_count"][
+            "samples"
+        ]
+        recovered = {parse_labels(k)["key"]: v for k, v in samples.items()}
+        assert recovered == {
+            hostile: float(i) for i, hostile in enumerate(self.HOSTILE_KEYS)
+        }
+
+    def test_hostile_label_names_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("tiera_test_total", "help")
+        counter.inc(**{"weird,name": "v"})
+        [(rendered, value)] = registry.snapshot()["metrics"][
+            "tiera_test_total"
+        ]["samples"].items()
+        assert parse_labels(rendered) == {"weird,name": "v"}
+        assert value == 1.0
+
+    def test_parse_labels_empty(self):
+        assert parse_labels("") == {}
+
+    def test_hostile_values_stay_parseable_in_prometheus_text(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("tiera_heat_hot_count", "help")
+        gauge.set(3.0, key='obj "a",b=c\\d')
+        text = render_prometheus(registry)
+        [line] = [
+            ln for ln in text.splitlines() if not ln.startswith("#")
+        ]
+        assert line == (
+            r'tiera_heat_hot_count{key="obj \"a\",b=c\\d"} 3'
+        )
+
+
+class TestHeatSnapshotSection:
+    def test_snapshot_carries_heat_once_enabled(self):
+        obs = Observability()
+        obs.heat.enable(hot_min=1)
+        for t in range(3):
+            obs.heat.record("get", "user,0=admin", size=64, at=float(t))
+        snap = stats_snapshot(obs)
+        assert snap["heat"]["enabled"] is True
+        assert snap["heat"]["hot_keys"] == ["user,0=admin"]
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_snapshot_without_heat_omits_section(self):
+        assert "heat" not in stats_snapshot(Observability())
 
 
 class TestStatsSnapshot:
