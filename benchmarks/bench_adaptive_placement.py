@@ -1,0 +1,423 @@
+"""Adaptive placement vs static watermark caching on a shifting hot set.
+
+The pitch for ``adaptive_placement(...)`` is that measurement-driven
+tiering beats any fixed placement rule once the workload mixes a
+skewed-but-drifting hot set with scan traffic: an LRU watermark cache
+admits every miss, so one-off scan reads continuously flush the tail of
+the genuine hot set out of the fast tier, while the placement engine
+admits only sketch-confirmed frequent keys and pins them with
+hysteresis.
+
+Three same-seed deployments face the identical op stream (a pure
+function of SEED) over a Memcached-over-EBS pair whose cache holds
+``CACHE_RECORDS`` of the ``RECORDS``-key space:
+
+* **write-through-lru** — the classic watermark policy: inserts land in
+  the cache and persist to EBS, GET misses promote, LRU entries drop.
+* **demand-lru** — the stronger static baseline: inserts persist to EBS
+  only (no write pollution), GET misses promote, LRU entries drop.
+* **adaptive** — inserts persist to EBS; the placement engine promotes
+  the heat tracker's confirmed-hot keys and swap-demotes decayed ones.
+
+Each phase the zipfian hot set shifts: fresh keys enter at the head of
+the popularity ranking and the old tail goes cold.  A small uniform
+scan component reads the whole keyspace.  Gates: the adaptive run must
+beat the *best* static policy — read p95 no worse AND total monthly
+cost (provisioned storage + metered request charges) no higher, with at
+least one strictly better.
+
+Standalone use::
+
+    python benchmarks/bench_adaptive_placement.py           # full table
+    python benchmarks/bench_adaptive_placement.py --smoke   # JSON gates
+
+Smoke output contains only virtual-timeline figures, so same-seed runs
+print byte-identical JSON (the CI adaptive-placement job diffs two
+runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from repro.bench.report import format_table
+from repro.core.conditions import AttrRef, Comparison, Literal, Not
+from repro.core.events import ActionEvent
+from repro.core.instance import DROP, TieraInstance
+from repro.core.policy import Policy, Rule
+from repro.core.responses import Copy, Retrieve, Store
+from repro.core.selectors import InsertObject
+from repro.core.server import TieraServer
+from repro.core.units import parse_size
+from repro.simcloud.cluster import Cluster
+from repro.simcloud.resources import RequestContext
+from repro.tiers.registry import TierRegistry
+from repro.workloads.distributions import ZipfianKeys
+from repro.workloads.ycsb import record_payload
+
+SEED = 4117
+RECORDS = 640            # whole keyspace (scans read all of it)
+RECORD_SIZE = 4096       # the paper's 4 KB records
+ACTIVE = 80              # per-phase hot-set size (zipfian within it)
+THETA = 1.1              # skew inside the active set
+PHASES = 3
+OPS_PER_PHASE = 2500
+WARMUP_OPS = 1500        # unmeasured ramp on phase 0's hot set
+SHIFT = 16               # keys entering/leaving the hot set per phase
+CACHE_RECORDS = 88       # cache slots: the active set plus thin slack
+SCAN_FRACTION = 0.05     # uniform reads over the whole keyspace
+WRITE_FRACTION = 0.08    # zipfian updates of active keys
+THINK_TIME = 0.002       # client think time, virtual seconds per op
+DRAIN_EVERY = 40         # ops between background-timer drains
+
+MEM_SIZE = str(CACHE_RECORDS * RECORD_SIZE // 1024) + "K"
+EBS_SIZE = "16M"
+CACHE_HIT_CUTOFF = 0.0015  # reads faster than this came from Memcached
+
+#: Heat-tracker configuration for the adaptive run: a short EWMA window
+#: (so last phase's heat decays within a phase) and a sketch big enough
+#: to hold the active set with room for scan churn at the tail.
+HEAT_CONFIG = dict(
+    windows=(2.0, 10.0), top_k=128, max_objects=768,
+    hot_min=2, sample_interval=2.5,
+)
+
+#: Placement-engine configuration: cycle every 0.2 virtual seconds,
+#: admit anything the sketch confirmed whose score clears 0.3, and keep
+#: enough move/pre-warm budget to absorb a whole hot-set shift in a few
+#: cycles.
+PLACEMENT_CONFIG = dict(
+    objective="balanced", interval=0.2, hysteresis=2.0, min_score=0.3,
+    max_moves=24, prewarm_limit=24, high_watermark=0.95, refine=True,
+)
+
+
+def key_name(index: int) -> str:
+    return f"rec{index:05d}"
+
+
+def _tiers(registry: TierRegistry):
+    return [
+        registry.create(
+            "Memcached", tier_name="tier1",
+            size=parse_size(MEM_SIZE), zone="us-east-1a",
+        ),
+        registry.create(
+            "EBS", tier_name="tier2",
+            size=parse_size(EBS_SIZE), zone="us-east-1a",
+        ),
+    ]
+
+
+def _not_cached():
+    return Not(
+        Comparison("==", AttrRef(("insert", "object", "location")), Literal("tier1"))
+    )
+
+
+def _cached():
+    return Comparison(
+        "==", AttrRef(("insert", "object", "location")), Literal("tier1")
+    )
+
+
+def build_write_through_lru(registry: TierRegistry) -> TieraInstance:
+    """Static watermark policy A: cache-and-persist plus promote-on-miss."""
+    rules = [
+        Rule(
+            ActionEvent("insert"),
+            [Store(InsertObject(), "tier1"), Copy(InsertObject(), "tier2")],
+            name="cache-and-persist",
+        ),
+        Rule(
+            ActionEvent("get", guard=_not_cached()),
+            [Retrieve(InsertObject(), promote_to="tier1")],
+            name="promote-on-miss",
+        ),
+    ]
+    instance = TieraInstance(
+        name="WriteThroughLru", tiers=_tiers(registry),
+        policy=Policy(rules), clock=registry.cluster.clock,
+    )
+    instance.eviction_chain.update({"tier1": DROP})
+    return instance
+
+
+def build_demand_lru(registry: TierRegistry) -> TieraInstance:
+    """Static watermark policy B: persist-only writes, promote-on-miss.
+
+    The stronger baseline — updates don't pollute the cache (a cached
+    key's copy is refreshed in place instead)."""
+    rules = [
+        Rule(
+            ActionEvent("insert"),
+            [Store(InsertObject(), "tier2")],
+            name="persist",
+        ),
+        Rule(
+            ActionEvent("insert", guard=_cached()),
+            [Copy(InsertObject(), "tier1")],
+            name="refresh-cached",
+        ),
+        Rule(
+            ActionEvent("get", guard=_not_cached()),
+            [Retrieve(InsertObject(), promote_to="tier1")],
+            name="promote-on-miss",
+        ),
+    ]
+    instance = TieraInstance(
+        name="DemandLru", tiers=_tiers(registry),
+        policy=Policy(rules), clock=registry.cluster.clock,
+    )
+    instance.eviction_chain.update({"tier1": DROP})
+    return instance
+
+
+def build_adaptive(registry: TierRegistry) -> TieraInstance:
+    """Persist-only writes; the placement engine manages the cache."""
+    rules = [
+        Rule(
+            ActionEvent("insert"),
+            [Store(InsertObject(), "tier2")],
+            name="persist",
+        ),
+        Rule(
+            ActionEvent("insert", guard=_cached()),
+            [Copy(InsertObject(), "tier1")],
+            name="refresh-cached",
+        ),
+    ]
+    return TieraInstance(
+        name="AdaptivePlacement", tiers=_tiers(registry),
+        policy=Policy(rules), clock=registry.cluster.clock,
+    )
+
+
+POLICIES = (
+    ("write-through-lru", build_write_through_lru, False),
+    ("demand-lru", build_demand_lru, False),
+    ("adaptive", build_adaptive, True),
+)
+
+
+def _percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+def run_policy(build, adaptive: bool):
+    """Drive the shared op stream against one deployment.
+
+    The op sequence (key, kind, payload) is a pure function of SEED —
+    identical across the three policies — so latency and cost deltas
+    come from placement alone."""
+    cluster = Cluster(seed=SEED)
+    registry = TierRegistry(cluster)
+    instance = build(registry)
+    server = TieraServer(instance)
+    ctx = RequestContext(cluster.clock)
+
+    for index in range(RECORDS):
+        server.put_object(
+            key_name(index), record_payload(index, 0, RECORD_SIZE), ctx=ctx
+        ).raise_for_error()
+    cluster.clock.run_until(ctx.time)
+
+    if adaptive:
+        server.configure("heat", **HEAT_CONFIG).raise_for_error()
+        server.configure("placement", **PLACEMENT_CONFIG).raise_for_error()
+
+    zipf = ZipfianKeys(ACTIVE, theta=THETA, seed=SEED + 1)
+    mix = random.Random(SEED + 2)
+    scan = random.Random(SEED + 3)
+    versions = {}
+    read_latencies = []
+    state = {"reads": 0, "hits": 0, "ops": 0, "measure": False}
+
+    def one_op(offset: int) -> None:
+        draw = mix.random()
+        if draw < SCAN_FRACTION:
+            index = scan.randrange(RECORDS)
+            kind = "scan"
+        else:
+            rank = min(zipf.next_rank(), ACTIVE - 1)
+            # Entrants surface at the head of the ranking; the old
+            # tail drops out of the active window each phase.
+            index = (rank - offset) % RECORDS
+            kind = "write" if draw < SCAN_FRACTION + WRITE_FRACTION else "read"
+        if kind == "write":
+            version = versions.get(index, 0) + 1
+            versions[index] = version
+            server.put_object(
+                key_name(index),
+                record_payload(index, version, RECORD_SIZE),
+                ctx=ctx,
+            ).raise_for_error()
+        else:
+            result = server.get_object(key_name(index), ctx=ctx)
+            result.raise_for_error()
+            if state["measure"]:
+                read_latencies.append(result.latency)
+                state["reads"] += 1
+                # A promote-on-miss rule serves the read from the cache
+                # it just filled, so result.tier can't distinguish hits;
+                # an EBS round-trip in the latency can (mem median is
+                # ~0.31 ms, EBS ~3.5 ms).
+                if result.latency < CACHE_HIT_CUTOFF:
+                    state["hits"] += 1
+        state["ops"] += 1
+        ctx.wait(THINK_TIME)
+        if state["ops"] % DRAIN_EVERY == 0:
+            cluster.clock.run_until(ctx.time)
+
+    # Unmeasured warmup on phase 0's hot set: every policy gets the
+    # same ramp to a filled cache before the meter starts.
+    for _ in range(WARMUP_OPS):
+        one_op(0)
+    cluster.clock.run_until(ctx.time)
+    registry.meter.reset()
+    state["measure"] = True
+
+    for phase in range(PHASES):
+        for _ in range(OPS_PER_PHASE):
+            one_op(phase * SHIFT)
+        cluster.clock.run_until(ctx.time)
+
+    reads, hits = state["reads"], state["hits"]
+    read_latencies.sort()
+    meter = registry.meter
+    request_charges = meter.request_charges()
+    storage = instance.monthly_cost()
+    report = {
+        "reads": reads,
+        "hit_rate": round(hits / reads, 4) if reads else 0.0,
+        "read_p50_ms": round(_percentile(read_latencies, 0.50) * 1000, 4),
+        "read_p95_ms": round(_percentile(read_latencies, 0.95) * 1000, 4),
+        "read_p99_ms": round(_percentile(read_latencies, 0.99) * 1000, 4),
+        "ebs_reads": meter.count("ebs.get"),
+        "ebs_writes": meter.count("ebs.put"),
+        "request_charges": round(request_charges, 6),
+        "storage_monthly": round(storage, 6),
+        "total_cost": round(storage + request_charges, 6),
+        "virtual_seconds": round(ctx.time, 6),
+    }
+    if adaptive:
+        status = instance.placement.status()
+        report["placement"] = {
+            "cycles": status["cycles"],
+            "moves": status["moves"],
+            "bytes_moved": status["bytes_moved"],
+        }
+    instance.shutdown()
+    return report
+
+
+def run_gates():
+    """All three runs plus the adaptive-beats-best-static verdict."""
+    results = {}
+    for name, build, adaptive in POLICIES:
+        results[name] = run_policy(build, adaptive)
+    adaptive = results["adaptive"]
+    statics = {n: results[n] for n, _, a in POLICIES if not a}
+    best_p95 = min(r["read_p95_ms"] for r in statics.values())
+    best_cost = min(r["total_cost"] for r in statics.values())
+    p95_ok = adaptive["read_p95_ms"] <= best_p95
+    cost_ok = adaptive["total_cost"] <= best_cost
+    strict = (
+        adaptive["read_p95_ms"] < best_p95
+        or adaptive["total_cost"] < best_cost
+    )
+    report = {
+        "seed": SEED,
+        "records": RECORDS,
+        "active": ACTIVE,
+        "cache_records": CACHE_RECORDS,
+        "policies": results,
+        "best_static_p95_ms": best_p95,
+        "best_static_total_cost": best_cost,
+        "gate_p95": p95_ok,
+        "gate_cost": cost_ok,
+        "gate_strict_win": strict,
+    }
+    return p95_ok and cost_ok and strict, report
+
+
+def run_table():
+    ok, report = run_gates()
+    rows = []
+    for name, _, adaptive in POLICIES:
+        r = report["policies"][name]
+        moves = r.get("placement", {}).get("moves", "-")
+        rows.append([
+            name,
+            f"{r['hit_rate']:.1%}",
+            f"{r['read_p50_ms']:.3f}",
+            f"{r['read_p95_ms']:.3f}",
+            f"{r['read_p99_ms']:.3f}",
+            r["ebs_reads"],
+            f"${r['total_cost']:.4f}",
+            moves,
+        ])
+    table = format_table(
+        "Adaptive placement vs static watermark LRU (shifting zipfian + scans)",
+        ["policy", "hit", "p50 ms", "p95 ms", "p99 ms", "ebs reads",
+         "month cost", "moves"],
+        rows,
+        note=(
+            f"gates: p95 {'PASS' if report['gate_p95'] else 'FAIL'} "
+            f"(adaptive {report['policies']['adaptive']['read_p95_ms']:.3f} ms "
+            f"vs best static {report['best_static_p95_ms']:.3f} ms), "
+            f"cost {'PASS' if report['gate_cost'] else 'FAIL'} "
+            f"(adaptive ${report['policies']['adaptive']['total_cost']:.4f} "
+            f"vs best static ${report['best_static_total_cost']:.4f}); "
+            f"{report['records']}-key space, {report['active']}-key hot set "
+            f"shifting {SHIFT}/phase, {CACHE_RECORDS}-record cache."
+        ),
+    )
+    return ok, report, table
+
+
+def test_adaptive_placement(benchmark, emit):
+    out = {}
+
+    def experiment():
+        out["ok"], out["report"], out["table"] = run_table()
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit("adaptive_placement", out["table"])
+    report = out["report"]
+    assert report["gate_p95"], report
+    assert report["gate_cost"], report
+    assert report["gate_strict_win"], report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Adaptive placement engine vs static watermark caching."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="print the deterministic gate report as JSON; exit 1 on a "
+             "failed gate",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        ok, report = run_gates()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if not ok:
+            print("FAIL: adaptive placement gate", file=sys.stderr)
+            return 1
+        return 0
+    ok, report, table = run_table()
+    print(table)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

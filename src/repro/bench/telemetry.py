@@ -174,11 +174,56 @@ def _scenario_heat_telemetry(profiler: Profiler):
     return 2014, result, obs, before
 
 
+def _scenario_adaptive_placement(profiler: Profiler):
+    """Zipfian YCSB mix with the placement engine rebalancing underneath.
+
+    Configures heat tracking *and* adaptive placement through the
+    management API, so the closed loop measures the full data path with
+    placement cycles firing on their virtual-time cadence — benchdiff
+    catches both data-path slowdowns and runaway move churn (the
+    ``tiera_placement_*`` counters land in the registry delta).
+    """
+    from repro.core.server import TieraServer
+    from repro.core.templates import memcached_ebs_instance
+    from repro.simcloud.cluster import Cluster
+    from repro.simcloud.resources import RequestContext
+    from repro.tiers.registry import TierRegistry
+    from repro.workloads.ycsb import YcsbWorkload
+
+    with profiler.section("build"):
+        cluster = Cluster(seed=2014)
+        obs = cluster.obs
+        obs.profiler = profiler
+        registry = TierRegistry(cluster)
+        instance = memcached_ebs_instance(registry, mem="100M", ebs="100M")
+        server = TieraServer(instance)
+        server.configure("heat", top_k=64, hot_min=2).raise_for_error()
+        server.configure(
+            "placement", objective="balanced", interval=1.0,
+        ).raise_for_error()
+    workload = YcsbWorkload(
+        server, 500, read_proportion=0.8, update_proportion=0.2,
+        distribution="zipfian", theta=0.99, seed=3,
+    )
+    with profiler.section("load"):
+        ctx = RequestContext(cluster.clock)
+        workload.load(ctx=ctx)
+        cluster.clock.run_until(ctx.time)
+    before = obs.metrics.snapshot()
+    with profiler.section("drive"):
+        result = run_closed_loop(
+            cluster.clock, clients=4, duration=20.0,
+            op_fn=workload, warmup=5.0, obs=obs,
+        )
+    return 2014, result, obs, before
+
+
 SCENARIOS: Dict[str, Callable] = {
     "fig07": _scenario_fig07,
     "fig13": _scenario_fig13,
     "batch_scaling": _scenario_batch_scaling,
     "heat_telemetry": _scenario_heat_telemetry,
+    "adaptive_placement": _scenario_adaptive_placement,
 }
 
 

@@ -29,6 +29,11 @@ Commands mirror how the paper's prototype is operated:
   sketch, per-tier occupancy gauges, and the occupancy timeline.
   ``--enable`` turns the tracker on first (``--top-k``, ``--hot-min``,
   ``--window``, ``--sample-interval``, ``--max-objects`` configure it).
+* ``placement <status|plan|run> --port P [--enable] [--objective O]
+  [--interval N] [--format text|json]`` — the adaptive placement
+  engine over RPC: engine status, the scored promote/demote/pre-warm
+  plan without moving data, or one executed cycle.  ``--enable``
+  configures it on first through the management API.
 * ``crashsweep [--deployment D] [--seed N] ...`` — offline: crash a
   scripted workload at every registered crash point, reopen, verify
   recovery invariants, print the JSON report (byte-identical across
@@ -522,6 +527,79 @@ def cmd_heat(options) -> int:
     return 0 if summary.get("enabled") else 1
 
 
+def cmd_placement(options) -> int:
+    client = _connect(options)
+    if client is None:
+        return 1
+    config: Dict[str, object] = {}
+    if options.objective is not None:
+        config["objective"] = options.objective
+    if options.interval is not None:
+        config["interval"] = options.interval
+    if config and not options.enable:
+        print("configuration flags need --enable", file=sys.stderr)
+        return 1
+    with client:
+        if options.enable:
+            envelope = client.configure("placement", **config)
+            if not envelope.ok:
+                print(f"error [{envelope.error}]: {envelope.error_message}",
+                      file=sys.stderr)
+                return 1
+        result = client.placement(action=options.placement_action)
+    if options.format == "json":
+        print(json.dumps(result, indent=2, sort_keys=True))
+    elif options.placement_action == "status":
+        _print_placement_status(result)
+    else:
+        _print_placement_plan(result)
+    return 0 if result.get("enabled") else 1
+
+
+def _print_placement_status(status: Dict[str, object]) -> None:
+    if not status.get("enabled"):
+        print("placement: disabled (repro placement --enable, or "
+              'configure("placement", ...))')
+        return
+    print(f"placement: objective={status['objective']} "
+          f"interval={status['interval']}s "
+          f"hysteresis={status['hysteresis']}s "
+          f"{'running' if status['running'] else 'rule-driven'}")
+    print(f"  cycles {status['cycles']}, moves {status['moves']}, "
+          f"{status['bytes_moved']} bytes moved")
+    last = status.get("last_cycle")
+    if last:
+        print(f"  last cycle @{last['time']}: {last['applied']}/"
+              f"{last['decisions']} decisions applied "
+              f"({last['origin']}), {last['skipped']} skipped")
+
+
+def _print_placement_plan(plan: Dict[str, object]) -> None:
+    if not plan.get("enabled"):
+        print("placement: disabled")
+        return
+    print(f"plan @{plan['time']} objective={plan['objective']} "
+          f"tiers {' > '.join(plan['tier_order'])}")
+    decisions = plan.get("decisions") or []
+    if not decisions:
+        print("  no moves scored above threshold")
+    for d in decisions:
+        applied = ""
+        if "applied" in d:
+            applied = " [applied]" if d["applied"] else " [failed]"
+        print(f"  {d['action']:8s} {d['key']:<24s} "
+              f"{d['from']} -> {d['to']}  "
+              f"heat={d['heat']:.4f} score={d['score']:.3f} "
+              f"({d['reason']}){applied}")
+    skipped = plan.get("skipped") or []
+    if skipped:
+        reasons: Dict[str, int] = {}
+        for s in skipped:
+            reasons[s["reason"]] = reasons.get(s["reason"], 0) + 1
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(reasons.items()))
+        print(f"  skipped {len(skipped)} ({summary})")
+
+
 def cmd_crashsweep(options) -> int:
     from repro.bench.crashsweep import run_crash_sweep
 
@@ -831,6 +909,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--format", choices=("text", "json"), default="text"
     )
     heat.set_defaults(func=cmd_heat)
+
+    placement = commands.add_parser(
+        "placement",
+        help="adaptive placement: inspect the plan, status, or run a cycle",
+    )
+    placement.add_argument(
+        "placement_action", nargs="?", default="status",
+        choices=("status", "plan", "run"),
+        help="status (engine state), plan (score candidates without "
+             "moving), run (execute one cycle now)",
+    )
+    placement.add_argument("--host", default="127.0.0.1")
+    placement.add_argument("--port", type=int, required=True)
+    placement.add_argument(
+        "--enable", action="store_true",
+        help="configure the engine on first (it starts disabled)",
+    )
+    placement.add_argument(
+        "--objective", choices=("balanced", "latency", "cost"), default=None,
+        help="cost-vs-latency weighting preset",
+    )
+    placement.add_argument(
+        "--interval", type=float, default=None,
+        help="virtual seconds between placement cycles",
+    )
+    placement.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    placement.set_defaults(func=cmd_placement)
 
     crashsweep = commands.add_parser(
         "crashsweep",

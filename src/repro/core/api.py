@@ -298,6 +298,82 @@ class StorageAPI(Protocol):
     def contains(self, key: str) -> bool: ...
 
 
+@dataclass
+class ManagementResult:
+    """Envelope for the unified management surface.
+
+    ``configure(feature, **options)`` and ``feature_status(feature)``
+    return this from every façade — direct, sharded, and RPC — so the
+    admin plane has the same stable shape as the data plane.  Errors
+    are *captured*, never raised: an unknown feature comes back with
+    ``error == "UNKNOWN_FEATURE"``, refused options with
+    ``error == "BAD_CONFIG"``.  ``state`` is a JSON-clean dict (no
+    tuples, no bytes) so the RPC round-trip is the identity.
+    """
+
+    feature: str
+    action: str                     # "configure" | "status"
+    ok: bool = True
+    enabled: bool = False
+    state: Dict[str, object] = field(default_factory=dict)
+    error: Optional[str] = None     # stable code, e.g. UNKNOWN_FEATURE
+    error_message: Optional[str] = None
+
+    def raise_for_error(self) -> "ManagementResult":
+        if not self.ok:
+            from repro.core import errors
+
+            exc_cls = {
+                errors.UNKNOWN_FEATURE: errors.UnknownFeatureError,
+                errors.BAD_CONFIG: errors.BadConfigError,
+            }.get(self.error)
+            if exc_cls is errors.UnknownFeatureError:
+                raise exc_cls(self.feature)
+            if exc_cls is errors.BadConfigError:
+                raise exc_cls(self.feature, self.error_message or "")
+            raise errors.TieraError(self.error_message or self.error or "")
+        return self
+
+    def to_wire(self) -> Dict[str, object]:
+        return {
+            "feature": self.feature,
+            "action": self.action,
+            "ok": self.ok,
+            "enabled": self.enabled,
+            "state": self.state,
+            "error": self.error,
+            "error_message": self.error_message,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Dict[str, object]) -> "ManagementResult":
+        return cls(
+            feature=doc["feature"],
+            action=doc["action"],
+            ok=doc["ok"],
+            enabled=doc["enabled"],
+            state=doc.get("state") or {},
+            error=doc.get("error"),
+            error_message=doc.get("error_message"),
+        )
+
+
+@runtime_checkable
+class ManagementAPI(Protocol):
+    """The admin verb pair every Tiera façade implements.
+
+    The legacy ``enable_*`` verbs grew ad hoc — present on some façades
+    with divergent signatures and return shapes.  This protocol is the
+    replacement: one keyword-only ``configure`` to turn a feature on or
+    retune it, one ``feature_status`` to inspect it, both returning
+    :class:`ManagementResult` envelopes with stable error codes.
+    """
+
+    def configure(self, feature: str, **options) -> ManagementResult: ...
+
+    def feature_status(self, feature: str) -> ManagementResult: ...
+
+
 def batch_from_verbs(
     op: str,
     items: Iterable,

@@ -182,6 +182,27 @@ class BackpressureError(TieraError):
         )
 
 
+class UnknownFeatureError(TieraError):
+    """The management API does not know the named feature."""
+
+    code = "UNKNOWN_FEATURE"
+
+    def __init__(self, feature: str, known=()):
+        self.feature = feature
+        hint = f"; known: {', '.join(sorted(known))}" if known else ""
+        super().__init__(f"unknown manageable feature {feature!r}{hint}")
+
+
+class BadConfigError(TieraError):
+    """A feature rejected its configuration options."""
+
+    code = "BAD_CONFIG"
+
+    def __init__(self, feature: str, detail: str):
+        self.feature = feature
+        super().__init__(f"bad {feature} configuration: {detail}")
+
+
 #: Codes for exception classes that live outside this module (simcloud
 #: faults, RPC transport) or built-ins raised by argument validation.
 _FALLBACK_CODES = {
@@ -202,6 +223,10 @@ UNKNOWN_METHOD = "UNKNOWN_METHOD"
 BAD_REQUEST = "BAD_REQUEST"
 #: Catch-all for unclassified server-side failures.
 INTERNAL = "INTERNAL"
+#: Code for a management-API feature name no façade exports.
+UNKNOWN_FEATURE = "UNKNOWN_FEATURE"
+#: Code for management-API options a feature refused.
+BAD_CONFIG = "BAD_CONFIG"
 
 
 def code_for(exc: BaseException) -> str:

@@ -132,6 +132,9 @@ class TieraInstance:
         #: backup manager (incremental snapshots / PITR / verification)
         #: — opt-in via :meth:`enable_backups`; ``None`` archives nothing.
         self.backup = None
+        #: adaptive placement engine (heat-driven promote/demote/pre-warm)
+        #: — opt-in via :meth:`enable_placement`; ``None`` moves nothing.
+        self.placement = None
         #: ``hook(key)`` fired on every metadata upsert/drop; the backup
         #: layer's change tracking listens here so metadata-only edits
         #: (tags, aliases, fsck repairs) dirty the object for the next
@@ -809,6 +812,33 @@ class TieraInstance:
         tracker.occupancy_source = self._heat_occupancy
         return tracker
 
+    # -- adaptive placement ---------------------------------------------------
+
+    def enable_placement(self, **config):
+        """Turn on the heat-driven adaptive placement engine.
+
+        Idempotent (a second call reconfigures in place); returns the
+        :class:`~repro.core.placement.PlacementEngine`.  Keyword
+        arguments pass through to the engine (``objective=``,
+        ``interval=``, ``hysteresis=``, ``min_score=``, ``max_moves=``,
+        ``prewarm_limit=``, ``high_watermark=``, ``refine=``, plus
+        ``start_timer=`` on first enable).  Placement plans are driven
+        by heat measurements, so the heat tracker is enabled with its
+        defaults if it is not already on.
+        """
+        if not self.obs.heat.enabled:
+            self.enable_heat()
+        elif self.obs.heat.occupancy_source is None:
+            self.obs.heat.occupancy_source = self._heat_occupancy
+        if self.placement is None:
+            from repro.core.placement import PlacementEngine
+
+            self.placement = PlacementEngine(self, **config)
+        else:
+            config.pop("start_timer", None)
+            self.placement.reconfigure(**config)
+        return self.placement
+
     def _heat_occupancy(self):
         """Live ``(tier, used, capacity)`` rows for the heat timeline."""
         return [
@@ -958,6 +988,8 @@ class TieraInstance:
         return self.monthly_cost() / (provisioned / (1024 ** 3))
 
     def shutdown(self) -> None:
+        if self.placement is not None:
+            self.placement.detach()
         self.control.shutdown()
         if self.resilience is not None:
             self.resilience.detach()

@@ -1,0 +1,722 @@
+"""Heat-driven adaptive placement: act on what the heat tracker measures.
+
+PR 9 landed the measurement half of ROADMAP item 1 — per-object EWMA
+heat, a Space-Saving hot set, and tier occupancy timelines.  This module
+is the acting half: a placement engine that consumes those summaries and
+promotes, demotes, and pre-warms objects across tiers against a
+configurable cost-vs-latency objective, the file-popularity-driven
+tiering of Herodotou & Kakoulli's "Automating Distributed Tiered Storage
+Management" grafted onto Tiera's policy machinery.
+
+The engine is deliberately a *planner + executor* split:
+
+``plan()``
+    A pure function of tracker state, tier occupancy, and virtual time.
+    Each candidate move is scored greedily::
+
+        score = latency_weight · heat · (lat_src − lat_dst) · 1000
+              + cost_weight · (rate_src − rate_dst) · size_gb · 1000
+              − move_cost − capacity_pressure
+
+    Admission and eviction deliberately read *different* signals (the
+    LRFU/ARC hybrid shape): a key is promoted only once the Space-Saving
+    sketch confirms sustained frequency (``hot_min``), so a one-off scan
+    read — whose instantaneous EWMA briefly spikes to ``1/window`` —
+    never pollutes a fast tier; demotion eligibility instead follows the
+    EWMA rate alone, because sketch counts never decay and yesterday's
+    hot key must be evictable once its recent rate collapses.  Plans are
+    damped with hysteresis (a key moved recently is left alone so hot
+    keys don't thrash) and a high-watermark capacity penalty.  An optional
+    refinement pass runs a bounded local search over the greedy plan:
+    promotions that didn't fit are paired with demoting the coldest
+    resident of the target tier when the swap's combined gain is
+    positive (the spirit of the Data-in-Motion ``p_hot`` + MILP
+    placement, without the solver).
+
+``run_cycle()``
+    Executes a plan through the instance's journaled data-path
+    primitives, emits ``tiera_placement_*`` metrics, and appends an
+    audit record under the ``placement`` category.
+
+Cadence comes from the virtual clock (``schedule_repeating``) when the
+engine is enabled through the management API, or from a policy rule's
+own timer when composed as the ``adaptive_placement(...)`` spec
+response — see :class:`repro.core.responses.AdaptivePlacement`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.simcloud.resources import RequestContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.instance import TieraInstance
+
+#: Objective presets: name -> (latency_weight, cost_weight).  "latency"
+#: pays for speed (retains data in fast tiers), "cost" evicts
+#: aggressively toward cheap tiers, "balanced" sits between.
+OBJECTIVES: Dict[str, Tuple[float, float]] = {
+    "balanced": (1.0, 1.0),
+    "latency": (4.0, 0.25),
+    "cost": (0.25, 4.0),
+}
+
+GB = 1024 ** 3
+
+DEFAULT_OBJECTIVE = "balanced"
+DEFAULT_INTERVAL = 60.0
+DEFAULT_MIN_SCORE = 0.05
+DEFAULT_MAX_MOVES = 8
+DEFAULT_PREWARM_LIMIT = 2
+DEFAULT_HIGH_WATERMARK = 0.90
+DEFAULT_REFINE_BUDGET = 16
+
+#: Fixed score charged per move (churn is never free) plus a transfer
+#: term per GiB moved, in the same dimensionless "score points" the
+#: latency and cost terms are normalized to.
+MOVE_COST_BASE = 0.001
+MOVE_COST_PER_GB = 4.0
+
+#: Score points per (seconds-saved-per-second); 1000 puts a 1 op/s key
+#: crossing a ~3 ms tier gap at ~3 points.
+LATENCY_SCALE = 1000.0
+
+#: Score points per $/month of storage-cost delta on the moved bytes.
+COST_SCALE = 1000.0
+
+#: Penalty at 100% projected fill of the destination tier; scales
+#: linearly from zero at the high watermark.
+PRESSURE_SCALE = 4.0
+
+#: Payload size used to rank tiers fast -> slow (the request-overhead
+#: term dominates at this size for every built-in latency model).
+REFERENCE_SIZE = 4096
+
+
+def expected_latency(model, nbytes: int) -> float:
+    """Deterministic expected service time of a latency model.
+
+    Planning must not consume randomness (the plan is a pure function
+    of tracker state), so instead of sampling we walk the model shape:
+    size-dependent models recurse into their base and add the transfer
+    term, lognormal models contribute their median, fixed models their
+    constant.
+    """
+    base = getattr(model, "base", None)
+    if base is not None:
+        bps = getattr(model, "bytes_per_second", 0.0)
+        transfer = nbytes / bps if bps else 0.0
+        return expected_latency(base, nbytes) + transfer
+    median = getattr(model, "median", None)
+    if median is not None:
+        return float(median)
+    seconds = getattr(model, "seconds", None)
+    if seconds is not None:
+        return float(seconds)
+    return 0.0
+
+
+class PlacementEngine:
+    """Greedy, hysteresis-damped promote/demote/pre-warm planner."""
+
+    def __init__(
+        self,
+        instance: "TieraInstance",
+        *,
+        objective: str = DEFAULT_OBJECTIVE,
+        interval: float = DEFAULT_INTERVAL,
+        hysteresis: Optional[float] = None,
+        min_score: float = DEFAULT_MIN_SCORE,
+        max_moves: int = DEFAULT_MAX_MOVES,
+        prewarm_limit: int = DEFAULT_PREWARM_LIMIT,
+        high_watermark: float = DEFAULT_HIGH_WATERMARK,
+        refine: bool = True,
+        start_timer: bool = True,
+    ):
+        self.instance = instance
+        self.clock = instance.clock
+        self.tracker = instance.obs.heat
+        self.objective = DEFAULT_OBJECTIVE
+        self.interval = DEFAULT_INTERVAL
+        self.hysteresis = 2 * DEFAULT_INTERVAL
+        self.min_score = DEFAULT_MIN_SCORE
+        self.max_moves = DEFAULT_MAX_MOVES
+        self.prewarm_limit = DEFAULT_PREWARM_LIMIT
+        self.high_watermark = DEFAULT_HIGH_WATERMARK
+        self.refine = True
+        self._hysteresis_explicit = False
+        self._timer = None
+        self._last_moved: Dict[str, float] = {}
+        self._last_cycle: Optional[Dict[str, object]] = None
+        self.cycles = 0
+        self.moves = 0
+        self.bytes_moved = 0
+        self._install_metrics()
+        self.reconfigure(
+            objective=objective,
+            interval=interval,
+            hysteresis=hysteresis,
+            min_score=min_score,
+            max_moves=max_moves,
+            prewarm_limit=prewarm_limit,
+            high_watermark=high_watermark,
+            refine=refine,
+        )
+        if start_timer:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reconfigure(self, **options) -> "PlacementEngine":
+        """Apply config in place (idempotent; validates before mutating)."""
+        known = {
+            "objective", "interval", "hysteresis", "min_score",
+            "max_moves", "prewarm_limit", "high_watermark", "refine",
+        }
+        unknown = set(options) - known
+        if unknown:
+            raise TypeError(
+                f"unknown placement option(s): {', '.join(sorted(unknown))}"
+            )
+        objective = options.get("objective")
+        if objective is not None and objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; expected one of "
+                f"{', '.join(sorted(OBJECTIVES))}"
+            )
+        interval = options.get("interval")
+        if interval is not None:
+            interval = float(interval)
+            if interval <= 0:
+                raise ValueError("interval must be positive")
+        hysteresis = options.get("hysteresis")
+        if hysteresis is not None:
+            hysteresis = float(hysteresis)
+            if hysteresis < 0:
+                raise ValueError("hysteresis cannot be negative")
+        high_watermark = options.get("high_watermark")
+        if high_watermark is not None:
+            high_watermark = float(high_watermark)
+            if not 0.0 < high_watermark <= 1.0:
+                raise ValueError("high_watermark must be in (0, 1]")
+        for count_opt in ("max_moves", "prewarm_limit"):
+            if options.get(count_opt) is not None and int(options[count_opt]) < 0:
+                raise ValueError(f"{count_opt} cannot be negative")
+
+        if objective is not None:
+            self.objective = objective
+        if interval is not None:
+            reschedule = self._timer is not None and interval != self.interval
+            self.interval = interval
+            if not self._hysteresis_explicit:
+                self.hysteresis = 2 * interval
+            if reschedule:
+                self.stop()
+                self.start()
+        if hysteresis is not None:
+            self.hysteresis = hysteresis
+            self._hysteresis_explicit = True
+        if options.get("min_score") is not None:
+            self.min_score = float(options["min_score"])
+        if options.get("max_moves") is not None:
+            self.max_moves = int(options["max_moves"])
+        if options.get("prewarm_limit") is not None:
+            self.prewarm_limit = int(options["prewarm_limit"])
+        if high_watermark is not None:
+            self.high_watermark = high_watermark
+        if options.get("refine") is not None:
+            self.refine = bool(options["refine"])
+        return self
+
+    def start(self) -> None:
+        """Begin the virtual-time cycle cadence (idempotent)."""
+        if self._timer is None:
+            self._timer = self.clock.schedule_repeating(
+                self.interval, self._tick
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def detach(self) -> None:
+        """Instance shutdown hook: cancel the timer."""
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._timer is not None
+
+    def _install_metrics(self) -> None:
+        m = self.instance.obs.metrics
+        self._m_cycles = m.counter(
+            "tiera_placement_cycles_total",
+            "Adaptive placement cycles executed",
+        )
+        self._m_moves = m.counter(
+            "tiera_placement_moves_total",
+            "Objects moved by the placement engine, by action",
+        )
+        self._m_bytes = m.counter(
+            "tiera_placement_bytes_moved_total",
+            "Payload bytes moved by the placement engine",
+        )
+        self._m_skipped = m.counter(
+            "tiera_placement_skipped_total",
+            "Candidate moves the planner rejected, by reason",
+        )
+        self._m_plan_size = m.gauge(
+            "tiera_placement_plan_size",
+            "Decisions in the most recent placement plan",
+        )
+
+    def _tick(self) -> None:
+        """Timer fire: one cycle on a fresh background context."""
+        ctx = RequestContext(self.clock)
+        try:
+            self.run_cycle(ctx, origin="timer")
+        except Exception as exc:  # noqa: BLE001 - background isolation
+            control = getattr(self.instance, "control", None)
+            if control is not None:
+                control._note_background_error("placement", exc, ctx.time)
+
+    # -- scoring -------------------------------------------------------------
+
+    def weights(self) -> Tuple[float, float]:
+        return OBJECTIVES[self.objective]
+
+    def _tier_order(self) -> List[str]:
+        """Tier names fastest -> slowest by expected read latency."""
+        ranked = []
+        for index, tier in enumerate(self.instance.tiers):
+            lat = expected_latency(tier.service.latency, REFERENCE_SIZE)
+            ranked.append((lat, index, tier.name))
+        ranked.sort()
+        return [name for _, _, name in ranked]
+
+    def _read_latency(self, tier_name: str, nbytes: int) -> float:
+        tier = self.instance.tiers.get(tier_name)
+        return expected_latency(tier.service.latency, nbytes)
+
+    def _storage_rate(self, tier_name: str) -> float:
+        """$/GB-month of the tier's product (0.0 if unpriced)."""
+        tier = self.instance.tiers.get(tier_name)
+        book = getattr(self.instance, "price_book", None)
+        if book is None:
+            return 0.0
+        try:
+            return book.storage_rate(tier.kind)
+        except KeyError:
+            return 0.0
+
+    def score_move(
+        self,
+        heat: float,
+        src: str,
+        dst: str,
+        nbytes: int,
+        pressure: float = 0.0,
+    ) -> float:
+        """Greedy benefit of serving ``nbytes`` from ``dst`` instead of
+        ``src`` for a key accessed ``heat`` times per virtual second."""
+        lw, cw = self.weights()
+        size_gb = max(nbytes, 1) / GB
+        latency_gain = heat * (
+            self._read_latency(src, nbytes) - self._read_latency(dst, nbytes)
+        )
+        cost_gain = (
+            self._storage_rate(src) - self._storage_rate(dst)
+        ) * size_gb
+        move_cost = MOVE_COST_BASE + MOVE_COST_PER_GB * size_gb
+        return (
+            lw * latency_gain * LATENCY_SCALE
+            + cw * cost_gain * COST_SCALE
+            - move_cost
+            - pressure
+        )
+
+    def _pressure(self, projected: Dict[str, int], dst: str, nbytes: int) -> float:
+        """Capacity-pressure penalty for adding ``nbytes`` to ``dst``."""
+        tier = self.instance.tiers.get(dst)
+        if tier.capacity in (None, 0):
+            return 0.0
+        fill_after = (projected[dst] + nbytes) / tier.capacity
+        if fill_after <= self.high_watermark:
+            return 0.0
+        over = (fill_after - self.high_watermark) / (1.0 - self.high_watermark + 1e-9)
+        return PRESSURE_SCALE * min(over, 1.0)
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Score candidates and emit a JSON-able decision list.
+
+        Pure with respect to instance state: no data moves, no RNG, no
+        metrics — calling ``plan()`` twice yields the identical plan.
+        """
+        if now is None:
+            now = self.clock.now()
+        order = self._tier_order()
+        rank = {name: i for i, name in enumerate(order)}
+        projected = {
+            tier.name: tier.used for tier in self.instance.tiers
+        }
+        decisions: List[Dict[str, object]] = []
+        skipped: List[Dict[str, object]] = []
+        blocked: List[Dict[str, object]] = []
+        planned_keys = set()
+        considered = 0
+        moves_left = self.max_moves
+        prewarms_left = self.prewarm_limit
+
+        def skip(key: str, reason: str) -> None:
+            skipped.append({"key": key, "reason": reason})
+
+        # Promotions / pre-warms: hottest first, straight off the sketch.
+        # hot_keys() is hot_min-gated (guaranteed count, error deducted),
+        # so a scan one-off never becomes a promotion candidate no
+        # matter how high its instantaneous EWMA spikes.
+        for key in self.tracker.hot_keys():
+            if moves_left <= 0:
+                break
+            considered += 1
+            if not self.instance.has_object(key):
+                skip(key, "missing")
+                continue
+            meta = self.instance.meta(key)
+            current = [t for t in meta.locations if t in rank]
+            if not current:
+                skip(key, "untiered")
+                continue
+            src = min(current, key=lambda t: rank[t])
+            dst = next(
+                (t for t in order if rank[t] < rank[src]
+                 and t not in meta.locations),
+                None,
+            )
+            if dst is None:
+                continue  # already in the fastest tier that exists
+            if now - self._last_moved.get(key, -1e18) < self.hysteresis:
+                skip(key, "hysteresis")
+                continue
+            heat = self.tracker.heat_rate(key, now)
+            last_access = self.tracker.last_access(key)
+            tier = self.instance.tiers.get(dst)
+            if tier.capacity is not None and (
+                projected[dst] + meta.size > tier.capacity
+            ):
+                blocked.append({
+                    "key": key, "src": src, "dst": dst,
+                    "size": meta.size, "heat": heat,
+                })
+                skip(key, "capacity")
+                continue
+            pressure = self._pressure(projected, dst, meta.size)
+            score = self.score_move(heat, src, dst, meta.size, pressure)
+            if score < self.min_score:
+                skip(key, "score")
+                continue
+            recent = (now - last_access) <= self.interval
+            action = "promote" if recent else "prewarm"
+            if action == "prewarm":
+                if prewarms_left <= 0:
+                    skip(key, "prewarm-limit")
+                    continue
+                prewarms_left -= 1
+            decisions.append({
+                "key": key,
+                "action": action,
+                "from": src,
+                "to": dst,
+                "size": meta.size,
+                "heat": round(heat, 6),
+                "score": round(score, 4),
+                "reason": "hot" if action == "promote" else "predicted-hot",
+            })
+            planned_keys.add(key)
+            projected[dst] += meta.size
+            moves_left -= 1
+
+        # Demotions: coldest residents of the fast tiers, coldest first.
+        demotion_candidates = self._demotion_candidates(order, rank, now)
+        for heat, last_access, key, src, meta in demotion_candidates:
+            if moves_left <= 0:
+                break
+            considered += 1
+            if key in planned_keys:
+                continue
+            if now - self._last_moved.get(key, -1e18) < self.hysteresis:
+                skip(key, "hysteresis")
+                continue
+            dst = self._demotion_target(meta, src, order, rank)
+            if dst is None:
+                skip(key, "no-slower-tier")
+                continue
+            needs_copy = dst not in meta.locations
+            pressure = (
+                self._pressure(projected, dst, meta.size) if needs_copy else 0.0
+            )
+            score = self.score_move(heat, src, dst, meta.size, pressure)
+            if score < self.min_score:
+                # Candidates are coldest-first: a warmer key demoting
+                # across the same tier pair scores strictly lower, so
+                # record one representative skip and stop scanning.
+                skip(key, "score")
+                break
+            decisions.append({
+                "key": key,
+                "action": "demote",
+                "from": src,
+                "to": dst,
+                "size": meta.size,
+                "heat": round(heat, 6),
+                "score": round(score, 4),
+                "reason": "cold",
+            })
+            planned_keys.add(key)
+            projected[src] -= meta.size
+            if needs_copy:
+                projected[dst] += meta.size
+            moves_left -= 1
+
+        if self.refine and blocked:
+            self._refine(
+                blocked, decisions, skipped, planned_keys,
+                projected, order, rank, now,
+            )
+
+        return {
+            "enabled": True,
+            "time": round(now, 6),
+            "objective": self.objective,
+            "weights": {
+                "latency": self.weights()[0], "cost": self.weights()[1],
+            },
+            "interval": self.interval,
+            "hysteresis": self.hysteresis,
+            "tier_order": order,
+            "considered": considered,
+            "decisions": decisions,
+            "skipped": skipped,
+        }
+
+    def _demotion_candidates(self, order, rank, now):
+        """Residents of every tier that has a slower sibling, coldest
+        first; deterministic (heat, last_access, key) order.  Sketch
+        membership is deliberately ignored here — Space-Saving counts
+        never decay, so a key hot last epoch but idle now must still be
+        evictable; the EWMA-driven score protects currently-hot keys."""
+        out = []
+        slowest = order[-1] if order else None
+        for meta in self.instance.iter_meta():
+            heat = self.tracker.heat_rate(meta.key, now)
+            last_access = self.tracker.last_access(meta.key)
+            for src in meta.locations:
+                if src not in rank or src == slowest:
+                    continue
+                out.append((heat, last_access, meta.key, src, meta))
+        out.sort(key=lambda item: (item[0], item[1], item[2], item[3]))
+        return out
+
+    @staticmethod
+    def _demotion_target(meta, src, order, rank) -> Optional[str]:
+        """Where reads land after dropping ``src``: the fastest slower
+        copy if one exists, else the next slower tier to copy into."""
+        slower_copies = [
+            t for t in meta.locations if t in rank and rank[t] > rank[src]
+        ]
+        if slower_copies:
+            return min(slower_copies, key=lambda t: rank[t])
+        for name in order[rank[src] + 1:]:
+            return name
+        return None
+
+    def _refine(
+        self, blocked, decisions, skipped, planned_keys,
+        projected, order, rank, now,
+    ) -> None:
+        """Bounded local search: pair capacity-blocked promotions with
+        demoting the coldest resident of the target tier when the swap's
+        combined score clears the threshold."""
+        budget = DEFAULT_REFINE_BUDGET
+        candidates = self._demotion_candidates(order, rank, now)
+        for promo in blocked[:budget]:
+            dst = promo["dst"]
+            tier = self.instance.tiers.get(dst)
+            victim = next(
+                (
+                    c for c in candidates
+                    if c[3] == dst and c[2] not in planned_keys
+                    and c[2] != promo["key"]
+                ),
+                None,
+            )
+            if victim is None:
+                continue
+            v_heat, _, v_key, v_src, v_meta = victim
+            v_dst = self._demotion_target(v_meta, v_src, order, rank)
+            if v_dst is None:
+                continue
+            freed = projected[dst] - v_meta.size
+            if tier.capacity is not None and freed + promo["size"] > tier.capacity:
+                continue  # one eviction is not enough; stay greedy
+            demote_score = self.score_move(v_heat, v_src, v_dst, v_meta.size)
+            promote_score = self.score_move(
+                promo["heat"], promo["src"], dst, promo["size"]
+            )
+            if promote_score + demote_score < self.min_score:
+                continue
+            skipped[:] = [
+                s for s in skipped
+                if not (s["key"] == promo["key"] and s["reason"] == "capacity")
+            ]
+            decisions.append({
+                "key": v_key,
+                "action": "demote",
+                "from": v_src,
+                "to": v_dst,
+                "size": v_meta.size,
+                "heat": round(v_heat, 6),
+                "score": round(demote_score, 4),
+                "reason": "refine-swap",
+            })
+            decisions.append({
+                "key": promo["key"],
+                "action": "promote",
+                "from": promo["src"],
+                "to": dst,
+                "size": promo["size"],
+                "heat": round(promo["heat"], 6),
+                "score": round(promote_score, 4),
+                "reason": "refine-swap",
+            })
+            planned_keys.add(v_key)
+            planned_keys.add(promo["key"])
+            projected[dst] = freed + promo["size"]
+            if v_dst not in v_meta.locations:
+                projected[v_dst] += v_meta.size
+
+    # -- execution -----------------------------------------------------------
+
+    def run_cycle(
+        self, ctx: RequestContext, origin: str = "manual"
+    ) -> Dict[str, object]:
+        """Plan, then execute each decision through the journaled data
+        path; returns the plan annotated with per-decision outcomes."""
+        now = self.clock.now()
+        plan = self.plan(now=now)
+        applied = 0
+        bytes_moved = 0
+        errors = 0
+        tiers_touched = set()
+        for decision in plan["decisions"]:
+            try:
+                self._apply(decision, ctx)
+            except Exception as exc:  # noqa: BLE001 - keep the cycle going
+                decision["applied"] = False
+                decision["error"] = f"{type(exc).__name__}: {exc}"
+                errors += 1
+                self._m_skipped.inc(reason="error")
+                continue
+            decision["applied"] = True
+            self._last_moved[decision["key"]] = now
+            applied += 1
+            bytes_moved += decision["size"]
+            tiers_touched.add(decision["from"])
+            tiers_touched.add(decision["to"])
+            self._m_moves.inc(action=decision["action"])
+            self._m_bytes.inc(decision["size"])
+        for entry in plan["skipped"]:
+            self._m_skipped.inc(reason=entry["reason"])
+        self.cycles += 1
+        self.moves += applied
+        self.bytes_moved += bytes_moved
+        self._m_cycles.inc()
+        self._m_plan_size.set(len(plan["decisions"]))
+        self._last_cycle = {
+            "time": plan["time"],
+            "origin": origin,
+            "decisions": len(plan["decisions"]),
+            "applied": applied,
+            "errors": errors,
+            "bytes_moved": bytes_moved,
+            "skipped": len(plan["skipped"]),
+        }
+        self._audit(plan, origin, applied, bytes_moved, tiers_touched, ctx)
+        return plan
+
+    def _apply(self, decision: Dict[str, object], ctx: RequestContext) -> None:
+        key = decision["key"]
+        src = decision["from"]
+        dst = decision["to"]
+        if decision["action"] in ("promote", "prewarm"):
+            data = self.instance.read_raw(key, ctx, prefer=src)
+            self.instance.write_to_tier(key, data, dst, ctx)
+            return
+        # demote: drop the fast copy, first materializing a slower one
+        # if the object lives nowhere below the source tier.
+        meta = self.instance.meta(key)
+        if dst not in meta.locations:
+            data = self.instance.read_raw(key, ctx, prefer=src)
+            self.instance.write_to_tier(key, data, dst, ctx)
+        self.instance.remove_from_tier(key, src, ctx)
+
+    def _audit(
+        self, plan, origin, applied, bytes_moved, tiers_touched, ctx
+    ) -> None:
+        audit = getattr(self.instance.obs, "audit", None)
+        if audit is None:
+            return
+        from repro.obs.audit import AuditRecord
+
+        actions: Dict[str, int] = {}
+        for decision in plan["decisions"]:
+            if decision.get("applied"):
+                actions[decision["action"]] = (
+                    actions.get(decision["action"], 0) + 1
+                )
+        audit.append(AuditRecord(
+            time=plan["time"],
+            category="placement",
+            name=f"adaptive-{self.objective}",
+            origin=origin,
+            foreground=False,
+            responses=applied,
+            tiers_touched=tuple(sorted(t for t in tiers_touched if t)),
+            objects_moved=applied,
+            duration=round(ctx.elapsed, 9),
+            detail={
+                "objective": self.objective,
+                "decisions": len(plan["decisions"]),
+                "applied": applied,
+                "actions": {a: n for a, n in sorted(actions.items())},
+                "bytes_moved": bytes_moved,
+                "skipped": len(plan["skipped"]),
+            },
+        ))
+
+    # -- introspection -------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """JSON-able engine state for health()/RPC/CLI."""
+        return {
+            "enabled": True,
+            "running": self.running,
+            "objective": self.objective,
+            "weights": {
+                "latency": self.weights()[0], "cost": self.weights()[1],
+            },
+            "interval": self.interval,
+            "hysteresis": self.hysteresis,
+            "min_score": self.min_score,
+            "max_moves": self.max_moves,
+            "prewarm_limit": self.prewarm_limit,
+            "high_watermark": self.high_watermark,
+            "refine": self.refine,
+            "cycles": self.cycles,
+            "moves": self.moves,
+            "bytes_moved": self.bytes_moved,
+            "last_cycle": self._last_cycle,
+        }

@@ -518,3 +518,37 @@ class VerifyBackup(Response):
                 "(TieraInstance.enable_backups)"
             )
         manager.verify_restore()
+
+
+@dataclass
+class AdaptivePlacement(Response):
+    """One adaptive placement cycle (``adaptive_placement(...)``).
+
+    The heat-driven placement engine as a policy primitive: executing
+    the response enables the engine if needed (without its own timer —
+    the enclosing rule's event supplies the cadence, so it composes
+    with static rules and threshold triggers) and runs one
+    plan-and-apply cycle on the triggering context.  ``objective``
+    picks the cost-vs-latency weighting preset; ``interval`` feeds the
+    promote-vs-prewarm recency split and the default hysteresis.
+    """
+
+    objective: str = "balanced"
+    interval: float = 60.0
+
+    def execute(self, scope: EvalScope, ctx: RequestContext) -> None:
+        instance = scope.instance
+        try:
+            if instance.placement is None:
+                engine = instance.enable_placement(
+                    objective=self.objective,
+                    interval=self.interval,
+                    start_timer=False,
+                )
+            else:
+                engine = instance.enable_placement(
+                    objective=self.objective, interval=self.interval
+                )
+        except (TypeError, ValueError) as exc:
+            raise PolicyError(f"adaptive_placement: {exc}")
+        engine.run_cycle(ctx, origin="rule")

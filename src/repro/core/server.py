@@ -21,9 +21,10 @@ from repro.core.api import (
     AdmissionController,
     BatchOp,
     BatchResult,
+    ManagementResult,
     OpResult,
 )
-from repro.core.errors import TieraError, code_for
+from repro.core.errors import BAD_CONFIG, UNKNOWN_FEATURE, TieraError, code_for
 from repro.core.instance import TieraInstance
 from repro.core.objects import ObjectMeta, content_checksum
 from repro.simcloud.errors import SimCloudError
@@ -542,17 +543,131 @@ class TieraServer:
             out["heat"] = dict(
                 heat.global_stats(), hot_keys=heat.hot_keys()
             )
+        if instance.placement is not None:
+            status_doc = instance.placement.status()
+            out["placement"] = {
+                key: status_doc[key]
+                for key in (
+                    "running", "objective", "interval", "cycles",
+                    "moves", "bytes_moved", "last_cycle",
+                )
+            }
         return out
+
+    # -- unified management API ---------------------------------------------
+
+    #: Features the management verbs accept, in registration order.
+    FEATURES: Tuple[str, ...] = ("heat", "placement")
+
+    def configure(self, feature: str, **options) -> ManagementResult:
+        """Enable or retune ``feature`` (the :class:`ManagementAPI` verb).
+
+        Errors come back captured in the envelope, never raised: an
+        unrecognized ``feature`` yields ``UNKNOWN_FEATURE``, options the
+        feature refuses yield ``BAD_CONFIG``.  On success the envelope
+        carries the feature's post-configure status.
+        """
+        if feature not in self.FEATURES:
+            return self._unknown_feature(feature, "configure")
+        try:
+            if feature == "heat":
+                self.instance.enable_heat(**options)
+            else:
+                self.instance.enable_placement(**options)
+        except (TypeError, ValueError) as exc:
+            return ManagementResult(
+                feature=feature,
+                action="configure",
+                ok=False,
+                enabled=self._feature_enabled(feature),
+                error=BAD_CONFIG,
+                error_message=str(exc),
+            )
+        return self._feature_envelope(feature, "configure")
+
+    def feature_status(self, feature: str) -> ManagementResult:
+        """Inspect ``feature`` (the :class:`ManagementAPI` verb)."""
+        if feature not in self.FEATURES:
+            return self._unknown_feature(feature, "status")
+        return self._feature_envelope(feature, "status")
+
+    def _unknown_feature(self, feature: str, action: str) -> ManagementResult:
+        return ManagementResult(
+            feature=feature,
+            action=action,
+            ok=False,
+            error=UNKNOWN_FEATURE,
+            error_message=(
+                f"unknown manageable feature {feature!r}; known: "
+                + ", ".join(self.FEATURES)
+            ),
+        )
+
+    def _feature_enabled(self, feature: str) -> bool:
+        if feature == "heat":
+            return self.obs.heat.enabled
+        return self.instance.placement is not None
+
+    def _feature_envelope(self, feature: str, action: str) -> ManagementResult:
+        enabled = self._feature_enabled(feature)
+        state: Dict[str, object] = {}
+        if enabled:
+            if feature == "heat":
+                tracker = self.obs.heat
+                state = {
+                    "config": {
+                        "windows": [float(w) for w in tracker.windows],
+                        "top_k": tracker.top_k,
+                        "max_objects": tracker.max_objects,
+                        "sample_interval": tracker.sample_interval,
+                        "hot_min": tracker.hot_min,
+                    },
+                    "tracked_objects": len(tracker._objects),
+                }
+            else:
+                state = self.instance.placement.status()
+        return ManagementResult(
+            feature=feature, action=action, enabled=enabled, state=state,
+        )
 
     # -- workload heat -----------------------------------------------------
 
     def enable_heat(self, **config):
-        """Enable heat telemetry on the underlying instance (idempotent)."""
+        """Deprecated: use ``configure("heat", ...)`` instead.
+
+        Preserves the original shape — returns the instance's
+        :class:`~repro.obs.heat.HeatTracker` ack (idempotent).
+        """
+        self._deprecated("enable_heat", 'configure("heat", ...)')
         return self.instance.enable_heat(**config)
 
     def heat_summary(self, limit: Optional[int] = None) -> Dict[str, object]:
         """The heat tracker's snapshot (``{"enabled": False}`` until on)."""
         return self.obs.heat.summary(limit=limit)
+
+    # -- adaptive placement -------------------------------------------------
+
+    def placement_status(self) -> Dict[str, object]:
+        """The placement engine's state (``{"enabled": False}`` until on)."""
+        engine = self.instance.placement
+        if engine is None:
+            return {"enabled": False}
+        return engine.status()
+
+    def placement_plan(self) -> Dict[str, object]:
+        """Score candidates and return the decision list without moving
+        anything (``{"enabled": False}`` until the engine is on)."""
+        engine = self.instance.placement
+        if engine is None:
+            return {"enabled": False}
+        return engine.plan()
+
+    def placement_run(self) -> Dict[str, object]:
+        """Execute one placement cycle now, outside the timer cadence."""
+        engine = self.instance.placement
+        if engine is None:
+            return {"enabled": False}
+        return engine.run_cycle(self._ctx(None), origin="manual")
 
     def last_trace(self):
         """The most recently completed request trace (or ``None``)."""

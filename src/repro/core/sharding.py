@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import api
@@ -23,6 +24,7 @@ from repro.core.api import (
     AdmissionController,
     BatchOp,
     BatchResult,
+    ManagementResult,
     OpResult,
 )
 from repro.core.cluster import ClusterConfig, ClusterManager
@@ -432,12 +434,93 @@ class ShardedTieraServer:
             }
         return out
 
+    # -- unified management API ----------------------------------------------
+
+    def configure(self, feature: str, **options) -> ManagementResult:
+        """Fan ``configure`` out to every shard (the ManagementAPI verb).
+
+        With one shard the envelope is returned unchanged, so the parity
+        suite can byte-compare it against the direct façade.  With
+        several, the router aggregates: ``ok``/``enabled`` are the
+        conjunction, ``state`` nests per-shard states, and the first
+        error (in shard order) surfaces as the envelope's error.
+        """
+        return self._aggregate_management([
+            (name, self.shards[name].configure(feature, **options))
+            for name in sorted(self.shards)
+        ])
+
+    def feature_status(self, feature: str) -> ManagementResult:
+        """Fan ``feature_status`` out to every shard and aggregate."""
+        return self._aggregate_management([
+            (name, self.shards[name].feature_status(feature))
+            for name in sorted(self.shards)
+        ])
+
+    @staticmethod
+    def _aggregate_management(
+        results: Sequence[Tuple[str, ManagementResult]]
+    ) -> ManagementResult:
+        if len(results) == 1:
+            return results[0][1]
+        first = results[0][1]
+        failed = next((r for _, r in results if not r.ok), None)
+        return ManagementResult(
+            feature=first.feature,
+            action=first.action,
+            ok=all(r.ok for _, r in results),
+            enabled=all(r.enabled for _, r in results),
+            state={"shards": {name: r.state for name, r in results}},
+            error=failed.error if failed is not None else None,
+            error_message=(
+                failed.error_message if failed is not None else None
+            ),
+        )
+
+    # -- adaptive placement --------------------------------------------------
+
+    def _per_shard(self, verb: str) -> Dict[str, object]:
+        """Single-shard identity, multi-shard ``{"shards": {...}}`` nest."""
+        results = {
+            name: getattr(self.shards[name], verb)()
+            for name in sorted(self.shards)
+        }
+        if len(results) == 1:
+            return next(iter(results.values()))
+        return {
+            "enabled": any(r.get("enabled", True) for r in results.values()),
+            "shards": results,
+        }
+
+    def placement_status(self) -> Dict[str, object]:
+        return self._per_shard("placement_status")
+
+    def placement_plan(self) -> Dict[str, object]:
+        return self._per_shard("placement_plan")
+
+    def placement_run(self) -> Dict[str, object]:
+        return self._per_shard("placement_run")
+
     # -- workload heat -------------------------------------------------------
 
     def enable_heat(self, **config):
-        """Enable heat telemetry on every shard (idempotent)."""
-        for name in sorted(self.shards):
-            self.shards[name].enable_heat(**config)
+        """Deprecated: use ``configure("heat", ...)`` instead.
+
+        Returns the per-shard tracker acks in shard-name order (the old
+        signature returned ``None`` — callers can only gain).
+        """
+        warnings.warn(
+            "ShardedTieraServer.enable_heat is deprecated; use "
+            'configure("heat", ...) (see docs/API.md)',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        acks = {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in sorted(self.shards):
+                acks[name] = self.shards[name].enable_heat(**config)
+        return acks
 
     def heat_summary(self, limit: Optional[int] = None) -> Dict[str, object]:
         """Cluster-wide heat view: per-shard trackers aggregated.

@@ -23,7 +23,7 @@ class AuditRecord:
     """One control-layer happening, on the simulated clock."""
 
     time: float            #: simulated time the happening started
-    category: str          #: rule | background-error | probe | reconfigure
+    category: str          #: rule | background-error | probe | reconfigure | placement
     name: str              #: rule name / probe name / error source
     origin: str = ""       #: what fired it: action:get, timer, threshold, …
     foreground: bool = True  #: did it run on a client's latency path?

@@ -429,6 +429,27 @@ class HeatTracker:
         count = self._sketch.count(key)
         return bool(count) and count - self._sketch.error(key) >= self.hot_min
 
+    def heat_rate(self, key: str, now: Optional[float] = None) -> float:
+        """Shortest-window EWMA access rate of ``key`` (0.0 if untracked).
+
+        Rates are stored as of the key's last access; pass ``now`` to
+        decay the stored value to the present — an idle key's heat must
+        fall even though nothing touches it (the placement engine's
+        demotion scores depend on this).
+        """
+        stats = self._objects.get(key)
+        if stats is None:
+            return 0.0
+        rate = stats.rates[0]
+        if now is not None and rate and now > stats.last_access:
+            rate *= math.exp(-(now - stats.last_access) / self.windows[0])
+        return rate
+
+    def last_access(self, key: str) -> float:
+        """Virtual time of ``key``'s latest access (0.0 if untracked)."""
+        stats = self._objects.get(key)
+        return stats.last_access if stats is not None else 0.0
+
     def skew(self) -> float:
         return estimate_skew([c for _, c, _ in self._sketch.top()])
 

@@ -249,6 +249,32 @@ class TieraClient:
             params["limit"] = limit
         return self._call("heat", **params)
 
+    # -- unified management API -------------------------------------------
+
+    def configure(self, feature: str, **options) -> "api.ManagementResult":
+        """Enable or retune ``feature`` (the :class:`ManagementAPI` verb).
+
+        The rehydrated :class:`~repro.core.api.ManagementResult`
+        compares equal to the direct façade's — errors (stable codes
+        ``UNKNOWN_FEATURE``, ``BAD_CONFIG``) come back captured in the
+        envelope, never raised."""
+        doc = self._call("configure", feature=feature, options=options)
+        return api.ManagementResult.from_wire(doc)
+
+    def feature_status(self, feature: str) -> "api.ManagementResult":
+        """Inspect ``feature`` (the :class:`ManagementAPI` verb)."""
+        doc = self._call("feature_status", feature=feature)
+        return api.ManagementResult.from_wire(doc)
+
+    # -- adaptive placement -------------------------------------------------
+
+    def placement(self, action: str = "status") -> Dict[str, Any]:
+        """Placement introspection: ``status`` (default), ``plan``
+        (score candidates without moving data), or ``run`` (execute one
+        cycle now).  Returns ``{"enabled": False}`` until the engine is
+        configured on."""
+        return self._call("placement", action=action)
+
     # -- durability -------------------------------------------------------
 
     def fsck(self, repair: bool = False) -> Dict[str, Any]:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional
 
@@ -317,11 +318,42 @@ class TieraRpcServer:
                 )
                 if params.get(name) is not None
             }
-            self.tiera.enable_heat(**config)
+            with warnings.catch_warnings():
+                # The shim's own warning is for in-process callers; the
+                # wire verb is not itself deprecated.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                self.tiera.enable_heat(**config)
         limit = params.get("limit")
         return self.tiera.heat_summary(
             limit=int(limit) if limit is not None else None
         )
+
+    # -- unified management API ---------------------------------------------
+
+    def _method_configure(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Enable or retune a feature; see :class:`ManagementAPI`.
+
+        Error codes (``UNKNOWN_FEATURE``, ``BAD_CONFIG``) ride inside
+        the envelope, never as RPC-level errors, so the rehydrated
+        result compares equal to the direct façade's.
+        """
+        options = params.get("options") or {}
+        return self.tiera.configure(params["feature"], **options).to_wire()
+
+    def _method_feature_status(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return self.tiera.feature_status(params["feature"]).to_wire()
+
+    def _method_placement(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Placement introspection: ``action`` is ``status`` (default),
+        ``plan`` (score without moving), or ``run`` (one cycle now)."""
+        action = params.get("action", "status")
+        if action == "status":
+            return self.tiera.placement_status()
+        if action == "plan":
+            return self.tiera.placement_plan()
+        if action == "run":
+            return self.tiera.placement_run()
+        raise ValueError(f"unknown placement action {action!r}")
 
     # -- durability verbs (FSCK / SNAPSHOT / RESTORE) -----------------------
 

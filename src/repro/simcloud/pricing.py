@@ -69,12 +69,19 @@ class CostMeter:
         return self.counts.get(counter, 0)
 
     def request_charges(self) -> float:
-        """Total request-based charges accumulated so far, in dollars."""
+        """Total request-based charges accumulated so far, in dollars.
+
+        Services meter under ``<kind>.<op>`` (``ebs.get``/``ebs.put`` —
+        see ``StorageService._count``); the ``ebs.read``/``ebs.write``
+        aliases are kept for callers that record I/O manually."""
+        ebs_io = (
+            self.count("ebs.get") + self.count("ebs.put")
+            + self.count("ebs.read") + self.count("ebs.write")
+        )
         return (
             self.count("s3.put") * self.book.s3_put_request
             + self.count("s3.get") * self.book.s3_get_request
-            + (self.count("ebs.read") + self.count("ebs.write"))
-            * self.book.ebs_io_request
+            + ebs_io * self.book.ebs_io_request
         )
 
     def reset(self) -> None:

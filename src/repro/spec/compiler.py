@@ -414,6 +414,39 @@ class Compiler:
 
         return VerifyBackup()
 
+    def _call_adaptive_placement(self, stmt: ast.CallStmt) -> "Response":
+        from repro.core.placement import OBJECTIVES
+        from repro.core.responses import AdaptivePlacement
+
+        expr = stmt.args.get("objective")
+        if expr is None:
+            objective = "balanced"
+        elif (
+            isinstance(expr, ast.PathExpr)
+            and len(expr.parts) == 1
+            and expr.parts[0] not in self.args
+        ):
+            # Bare-identifier idiom, like store(to: tier1).
+            objective = expr.parts[0]
+        else:
+            objective = str(self._literal_arg(stmt, "objective", unit="string"))
+        if objective not in OBJECTIVES:
+            raise PolicyError(
+                f"line {stmt.line}: adaptive_placement 'objective:' must "
+                f"be one of {', '.join(sorted(OBJECTIVES))}"
+            )
+        interval_expr = stmt.args.get("interval")
+        if interval_expr is None:
+            interval = 60.0
+        else:
+            interval = float(self._numeric_value(interval_expr))
+            if interval <= 0:
+                raise PolicyError(
+                    f"line {stmt.line}: adaptive_placement 'interval:' "
+                    f"must be positive"
+                )
+        return AdaptivePlacement(objective=objective, interval=interval)
+
     def _call_shrink(self, stmt: ast.CallStmt) -> Shrink:
         percent = self._literal_arg(stmt, "decrement", unit="percent")
         if percent is None:

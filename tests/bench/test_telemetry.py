@@ -37,6 +37,7 @@ class TestRecords:
     def test_known_scenarios(self):
         assert set(SCENARIOS) == {
             "fig07", "fig13", "batch_scaling", "heat_telemetry",
+            "adaptive_placement",
         }
         with pytest.raises(ValueError):
             run_scenario("fig99")

@@ -10,7 +10,7 @@ captured in-process exception and its RPC-rehydrated twin compare equal.
 
 import pytest
 
-from repro.core.api import BatchOp, BatchResult, StorageAPI
+from repro.core.api import BatchOp, BatchResult, ManagementAPI, StorageAPI
 from repro.core.errors import BackpressureError, NoSuchObjectError
 from repro.core.events import ActionEvent
 from repro.core.policy import Rule
@@ -246,6 +246,115 @@ class TestHeatParity:
                     facade.put_object(key, b"x" * 64)
         assert direct.heat_summary(limit=1) == rpc_client.heat(limit=1)
         assert len(direct.heat_summary(limit=1)["hot"]) == 1
+
+
+class TestManagementParity:
+    """configure/feature_status: one envelope shape from every façade.
+
+    The single-shard router returns the shard's envelope unchanged and
+    the RPC client rehydrates through ``ManagementResult.from_wire`` —
+    both must compare equal to the direct façade's dataclass."""
+
+    def test_all_facades_satisfy_the_protocol(self, direct, sharded, rpc_client):
+        for facade in (direct, sharded, rpc_client):
+            assert isinstance(facade, ManagementAPI)
+
+    def test_configure_heat_envelopes_identical(
+        self, direct, sharded, rpc_client
+    ):
+        results = [
+            facade.configure("heat", top_k=8, hot_min=2)
+            for facade in (direct, sharded, rpc_client)
+        ]
+        assert results[0] == results[1] == results[2]
+        assert results[0].ok and results[0].enabled
+        assert results[0].state["config"]["top_k"] == 8
+
+    def test_configure_placement_envelopes_identical(
+        self, direct, sharded, rpc_client
+    ):
+        results = [
+            facade.configure("placement", objective="cost", interval=45.0)
+            for facade in (direct, sharded, rpc_client)
+        ]
+        assert results[0] == results[1] == results[2]
+        assert results[0].state["objective"] == "cost"
+        statuses = [
+            facade.feature_status("placement")
+            for facade in (direct, sharded, rpc_client)
+        ]
+        assert statuses[0] == statuses[1] == statuses[2]
+        assert statuses[0].state["interval"] == 45.0
+
+    def test_unknown_feature_code_parity(self, direct, sharded, rpc_client):
+        for action in ("configure", "feature_status"):
+            results = [
+                getattr(facade, action)("wormhole")
+                for facade in (direct, sharded, rpc_client)
+            ]
+            assert results[0] == results[1] == results[2]
+            assert not results[0].ok
+            assert results[0].error == "UNKNOWN_FEATURE"
+
+    def test_bad_config_code_parity(self, direct, sharded, rpc_client):
+        results = [
+            facade.configure("placement", objective="yolo")
+            for facade in (direct, sharded, rpc_client)
+        ]
+        assert results[0] == results[1] == results[2]
+        assert results[0].error == "BAD_CONFIG"
+        assert results[0].enabled is False
+
+    def test_placement_introspection_parity(self, direct, sharded, rpc_client):
+        for facade in (direct, sharded, rpc_client):
+            facade.configure("placement", interval=30.0).raise_for_error()
+            facade.put_object("k", b"v" * 128)
+        docs = [
+            direct.placement_plan(),
+            sharded.placement_plan(),
+            rpc_client.placement("plan"),
+        ]
+        assert docs[0] == docs[1] == docs[2]
+        statuses = [
+            direct.placement_status(),
+            sharded.placement_status(),
+            rpc_client.placement("status"),
+        ]
+        assert statuses[0] == statuses[1] == statuses[2]
+        assert statuses[0]["running"] is True
+
+    def test_placement_disabled_shape_parity(self, direct, sharded, rpc_client):
+        docs = [
+            direct.placement_status(),
+            sharded.placement_status(),
+            rpc_client.placement("status"),
+        ]
+        assert docs == [{"enabled": False}] * 3
+
+
+class TestDeprecatedEnableHeat:
+    """The legacy verb warns everywhere and the sharded router finally
+    acks (it used to return ``None`` while the direct façade returned
+    the tracker — callers holding the router got nothing back)."""
+
+    def test_direct_shim_warns_and_returns_tracker(self, direct):
+        with pytest.warns(DeprecationWarning, match="enable_heat"):
+            tracker = direct.enable_heat(top_k=4, hot_min=2)
+        assert tracker.enabled and tracker.top_k == 4
+
+    def test_sharded_shim_warns_and_acks_per_shard(self, sharded):
+        with pytest.warns(DeprecationWarning, match="enable_heat"):
+            acks = sharded.enable_heat(top_k=4, hot_min=2)
+        assert set(acks) == {"s1"}
+        assert acks["s1"].enabled and acks["s1"].top_k == 4
+
+    def test_configure_does_not_warn(self, direct, sharded, recwarn):
+        direct.configure("heat", top_k=4)
+        sharded.configure("heat", top_k=4)
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
 
 
 class TestShardRouterTagPropagation:

@@ -131,6 +131,18 @@ class TestHeatTracker:
         [entry] = tracker.summary()["hot"]
         assert entry["rates"]["60s"] > rate_after_5
 
+    def test_heat_rate_decays_at_read_time(self):
+        # Stored rates only update on access; an idle key's rate must
+        # still read as decayed so eviction logic sees it going cold.
+        tracker = make_tracker(windows=[10.0])
+        for t in range(5):
+            tracker.record("get", "k", at=float(t))
+        live = tracker.heat_rate("k")
+        assert tracker.heat_rate("k", now=4.0) == live  # at last access
+        later = tracker.heat_rate("k", now=34.0)        # 3 windows idle
+        assert 0 < later < live / 10
+        assert tracker.heat_rate("missing", now=34.0) == 0.0
+
     def test_object_table_is_lru_bounded(self):
         tracker = make_tracker(max_objects=3, hot_min=1)
         for i in range(6):

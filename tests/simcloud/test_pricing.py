@@ -33,6 +33,15 @@ class TestCostMeter:
         meter.record("ebs.read", 1_000_000)
         assert meter.request_charges() == pytest.approx(0.005 + 0.004 + 0.10)
 
+    def test_service_counters_are_charged(self):
+        # Services meter under "<kind>.<op>" (StorageService._count), so
+        # the ebs.get/ebs.put traffic the data path actually records
+        # must land in request_charges alongside the manual aliases.
+        meter = CostMeter()
+        meter.record("ebs.get", 600_000)
+        meter.record("ebs.put", 400_000)
+        assert meter.request_charges() == pytest.approx(0.10)
+
     def test_counts_accumulate(self):
         meter = CostMeter()
         meter.record("s3.put")
